@@ -1,0 +1,41 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table/figure of the paper at a reduced
+scale and prints the rows/series the paper reports.  ``pedantic`` mode
+with a single round keeps total bench time reasonable — the quantity
+being measured is the simulator's wall-clock cost of regenerating the
+experiment, and the printed table is the scientific output.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark, capsys):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    The regenerated table/figure is printed *outside* pytest's output
+    capture — it is the scientific result of the bench, not debug
+    noise.
+    """
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        with capsys.disabled():
+            print()
+            print(result.rendered)
+        return result
+
+    return _run
+
+
+@pytest.fixture
+def announce(capsys):
+    """Print a line past pytest's capture (for ablation verdicts)."""
+
+    def _announce(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _announce

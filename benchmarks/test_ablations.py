@@ -1,0 +1,107 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. strict sibling invalidation — charging Merkle-path rework from
+   concurrent commits on the critical path erases much of the
+   pre-execution benefit (why real BMT engines absorb it);
+2. selective vs. always-on metadata atomicity (§4.3);
+3. non-pipelined BMO units — fully-occupying engines make multi-write
+   fences throughput-bound and flatten every speedup;
+4. deferred/coalesced vs. immediate pre-execution on TATP's sub-line
+   field updates (Fig. 8b's motivation).
+"""
+
+import dataclasses
+
+from repro.common.config import default_config
+from repro.harness.runner import run_point, speedup_over
+from repro.workloads import WorkloadParams
+
+PARAMS = WorkloadParams(n_items=32, value_size=64, n_transactions=12)
+
+
+def _speedup(workload, config=None, variant="manual", params=PARAMS):
+    ser = run_point(workload, mode="serialized", params=params,
+                    config=config)
+    jan = run_point(workload, mode="janus", variant=variant,
+                    params=params, config=config)
+    return speedup_over(ser, jan)
+
+
+def test_ablation_strict_sibling_invalidation(benchmark, announce):
+    def run():
+        default = _speedup("array_swap")
+        cfg = default_config()
+        cfg = cfg.replace(integrity=dataclasses.replace(
+            cfg.integrity, strict_sibling_invalidation=True))
+        strict = _speedup("array_swap", config=cfg)
+        return default, strict
+
+    default, strict = benchmark.pedantic(run, rounds=1, iterations=1)
+    announce(f"\nablation: sibling invalidation  default={default:.2f}x  "
+             f"strict={strict:.2f}x")
+    # Charging sibling rework on the critical path costs speedup.
+    assert strict < default
+
+
+def test_ablation_metadata_atomicity(benchmark, announce):
+    def run():
+        selective = _speedup("tatp")
+        cfg = default_config().replace(
+            selective_metadata_atomicity=False)
+        always = _speedup("tatp", config=cfg)
+        return selective, always
+
+    selective, always = benchmark.pedantic(run, rounds=1, iterations=1)
+    announce(f"\nablation: metadata atomicity  selective={selective:.2f}x  "
+             f"always={always:.2f}x")
+    assert selective > 1.0 and always > 1.0
+
+
+def test_ablation_non_pipelined_units(benchmark, announce):
+    def run():
+        pipelined = _speedup("btree")
+        cfg = default_config().replace(bmo_unit_pipeline_fraction=1.0)
+        blocking = _speedup("btree", config=cfg)
+        return pipelined, blocking
+
+    pipelined, blocking = benchmark.pedantic(run, rounds=1,
+                                             iterations=1)
+    announce(f"\nablation: unit pipelining  pipelined={pipelined:.2f}x  "
+             f"fully-occupying={blocking:.2f}x")
+    assert pipelined > 1.0 and blocking > 1.0
+
+
+def test_ablation_bmo_composition(benchmark, announce):
+    """Which BMO stack costs what, and how much Janus recovers."""
+    from repro.harness.experiments import bmo_composition
+
+    result = benchmark.pedantic(bmo_composition,
+                                kwargs={"scale": 0.4},
+                                rounds=1, iterations=1)
+    announce("\n" + result.rendered)
+    rows = result.data
+    # The serialized write-path tax grows with the stack.
+    taxes = [row["serialized_ns_per_txn"] for row in rows.values()]
+    assert taxes[0] < taxes[2]
+    # Janus recovers part of the tax at every composition.
+    assert all(row["speedup"] > 1.0 for row in rows.values())
+
+
+def test_ablation_deferred_coalescing(benchmark, announce):
+    """TATP's manual plan uses the deferred (_BUF) interface; verify
+    the coalescing actually merges same-line requests."""
+    from repro.core import NvmSystem
+    from repro.workloads import make_workload
+
+    def run():
+        cfg = default_config(mode="janus")
+        system = NvmSystem(cfg)
+        workload = make_workload("tatp", system, system.cores[0],
+                                 PARAMS, variant="manual")
+        system.run_programs([workload.run()])
+        return system.janus.request_queue.coalesced
+
+    coalesced = benchmark.pedantic(run, rounds=1, iterations=1)
+    announce(f"\nablation: deferred interface coalesced {coalesced} "
+             f"same-line requests")
+    assert coalesced >= PARAMS.n_transactions

@@ -1,0 +1,21 @@
+"""Regenerates Fig. 10: slowdown of serialized and Janus over the
+non-blocking-writeback ideal, plus the fraction of writes whose BMOs
+were completely pre-executed (paper: 4.93x / 2.09x / 45.13%)."""
+
+from repro.harness.experiments import fig10_ideal_comparison
+from repro.harness.report import arithmetic_mean
+
+
+def test_fig10(run_once):
+    result = run_once(fig10_ideal_comparison, scale=0.5)
+    data = result.data
+    slow_ser = arithmetic_mean([d["serialized"] for d in data.values()])
+    slow_jan = arithmetic_mean([d["janus"] for d in data.values()])
+    full = arithmetic_mean(
+        [d["fully_pre_executed"] for d in data.values()])
+    # Serialized is several times slower than ideal; Janus recovers a
+    # large part but not all of it.
+    assert slow_ser > 3.0
+    assert 1.0 < slow_jan < slow_ser
+    # Roughly half of the writes' BMOs fully pre-execute (paper 45%).
+    assert 0.25 < full < 0.75

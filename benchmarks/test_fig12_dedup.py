@@ -1,0 +1,19 @@
+"""Regenerates Fig. 12: Janus speedup across deduplication ratios
+(0.25 / 0.5 / 0.75) and fingerprint algorithms (MD5 vs. CRC-32).
+
+Shape target: with MD5 the speedup is almost flat across ratios (the
+321 ns fingerprint dominates the BMO chain either way); CRC-32 shifts
+the balance but the variation stays small (paper section 5.2.4)."""
+
+from repro.harness.experiments import fig12_dedup
+
+
+def test_fig12(run_once):
+    result = run_once(fig12_dedup, scale=0.4,
+                      workloads=["array_swap", "hash_table", "tatp"])
+    for workload, series in result.data.items():
+        md5 = [series[("md5", r)] for r in (0.25, 0.5, 0.75)]
+        # Near-flat under MD5: spread well under 25%.
+        assert max(md5) - min(md5) < 0.25 * max(md5), (workload, md5)
+        for ratio in (0.25, 0.5, 0.75):
+            assert series[("crc32", ratio)] > 1.0

@@ -1,0 +1,24 @@
+"""Regenerates Fig. 13: speedup vs. transaction update size
+(64 B – 8 KB) for the five scalable workloads.
+
+Shape targets: pre-execution's benefit grows with transaction size up
+to a point and then declines once the pre-execution units/buffers
+saturate; parallelization's benefit is resource-insensitive and keeps
+a mild upward trend (paper section 5.2.5)."""
+
+from repro.harness.experiments import fig13_transaction_size
+
+
+def test_fig13(run_once):
+    result = run_once(fig13_transaction_size, scale=0.8,
+                      sizes=(64, 256, 1024, 8192),
+                      workloads=["array_swap", "hash_table"])
+    for workload, series in result.data.items():
+        sizes = sorted(series)
+        janus = [series[s][1] for s in sizes]
+        par = [series[s][0] for s in sizes]
+        # Pre-execution speedup declines at the largest size compared
+        # to its peak (buffers full).
+        assert max(janus) > janus[-1], (workload, janus)
+        # Pre-execution dominates parallelization at the peak.
+        assert max(janus) > max(par)

@@ -1,0 +1,10 @@
+"""Regenerates Fig. 3: serialized vs. parallelized vs. pre-executed
+BMO latency on one write's critical path."""
+
+from repro.harness.experiments import fig3_timeline
+
+
+def test_fig3(run_once):
+    result = run_once(fig3_timeline)
+    assert result.data["parallel_ns"] < result.data["serialized_ns"]
+    assert result.data["pre_executed_ns"] == 0.0

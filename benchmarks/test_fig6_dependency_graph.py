@@ -1,0 +1,10 @@
+"""Regenerates Fig. 6: sub-operation decomposition with external-
+dependency classification."""
+
+from repro.harness.experiments import fig6_dependency_graph
+
+
+def test_fig6(run_once):
+    result = run_once(fig6_dependency_graph)
+    labels = result.data["classification"]
+    assert labels["E1"] == "addr" and labels["D1"] == "data"

@@ -1,0 +1,12 @@
+"""Regenerates section 5.2.7: hardware storage/area overhead."""
+
+from repro.harness.experiments import overhead_analysis
+
+
+def test_overhead(run_once):
+    result = run_once(overhead_analysis)
+    # The IRB alone is ~9.25 KB and the total is ~0.5% of the 2MB LLC
+    # (the paper quotes 9.25KB / 0.51%).
+    assert 9.0 < result.data["irb_kib"] < 9.5
+    assert 0.004 < result.data["fraction_of_llc"] < 0.006
+    assert result.data["bmo_gates"] == 300_000

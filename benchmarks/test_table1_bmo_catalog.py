@@ -1,0 +1,8 @@
+"""Regenerates Table 1: the BMO catalogue with write latencies."""
+
+from repro.harness.experiments import table1_bmo_catalog
+
+
+def test_table1(run_once):
+    result = run_once(table1_bmo_catalog)
+    assert len(result.data["rows"]) == 7  # all Table 1 BMO classes

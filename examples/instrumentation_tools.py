@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The §6 tooling in action: instrumentation plans, static window
+estimation, and runtime misuse detection.
+
+The paper's future-work section sketches tools that (1) estimate
+whether a pre-execution window suffices and (2) detect interface
+misuse.  Both are implemented here; this example shows them catching
+a deliberately buggy program.
+
+Run:  python examples/instrumentation_tools.py
+"""
+
+from repro.bmo import build_pipeline
+from repro.common.config import default_config
+from repro.compiler.window import render_report
+from repro.core import NvmSystem
+from repro.janus.misuse import diagnose
+from repro.workloads import WORKLOADS
+from repro.workloads.registry import plan_for
+
+
+def buggy_program(system):
+    """Violates all three §4.4 guidelines at once."""
+    core = system.cores[0]
+    addr = system.heap.alloc_line(64)
+    obj = core.api.pre_init()
+
+    # Guideline 1 violation: pre-execute one value, write another.
+    yield from core.api.pre_both(obj, addr, b"\x01" * 64)
+    yield from core.compute(4000)
+    yield from core.store(addr, b"\x02" * 64)
+    yield from core.persist(addr, 64)
+
+    # Guideline 3 violation: no window at all.
+    rushed = core.api.pre_init()
+    yield from core.api.pre_both(rushed, addr, b"\x03" * 64)
+    yield from core.store(addr, b"\x03" * 64)
+    yield from core.persist(addr, 64)
+
+    # Misuse 2: pre-execution without a subsequent write.
+    orphan = core.api.pre_init()
+    yield from core.api.pre_both(orphan, system.heap.alloc_line(64),
+                                 b"\x04" * 64)
+    yield from core.compute(2000)
+
+
+def main():
+    # Static analysis: plans + window estimates for a workload.
+    print("=== static: instrumentation plan + window estimate ===")
+    cls = WORKLOADS["array_swap"]
+    plan = plan_for(cls, "auto")
+    print(plan.describe())
+    graph = build_pipeline(default_config()).graph
+    print(render_report(cls.template(), plan, graph))
+    print()
+
+    # Dynamic analysis: run the buggy program and diagnose it.
+    print("=== dynamic: misuse report for a buggy program ===")
+    system = NvmSystem(default_config(mode="janus"))
+    system.run_programs([buggy_program(system)])
+    report = diagnose(system)
+    print(report.render())
+    assert not report.clean, "the buggy program must be flagged"
+
+
+if __name__ == "__main__":
+    main()

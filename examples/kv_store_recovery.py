@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""A crash-consistent key-value store on encrypted, deduplicated NVM.
+
+This is the scenario the paper's introduction motivates: persistent
+data structures manipulated with loads/stores, made crash consistent
+with undo logging, while the memory controller transparently runs
+encryption + integrity verification + deduplication on every write.
+
+The script updates a hash-table KV store, pulls the plug mid-
+transaction, and runs recovery: decrypting the NVM image through the
+metadata chain, verifying MACs, and rolling back the interrupted
+transaction from the undo log.
+
+Run:  python examples/kv_store_recovery.py
+"""
+
+from repro.common.config import default_config
+from repro.consistency import recover
+from repro.core import NvmSystem
+from repro.workloads import WorkloadParams, make_workload
+
+
+def main():
+    cfg = default_config(mode="janus")
+    system = NvmSystem(cfg)
+    core = system.cores[0]
+    params = WorkloadParams(n_items=16, value_size=64,
+                            n_transactions=6)
+    store = make_workload("hash_table", system, core, params,
+                          variant="manual")
+
+    # Run five complete updates, then crash in the middle of the
+    # sixth (after its in-place update, before its commit record).
+    crash_point = system.sim.event("crash")
+
+    def victim_program():
+        for _ in range(5):
+            yield from store.transaction()
+        # Partial sixth transaction: stop after the update fence.
+        key = 3
+        new_value = b"\xEE" * 64
+        node, value_ptr = yield from store._find(key)
+        victim_program.old = system.volatile.read(value_ptr, 64)
+        victim_program.addr = value_ptr
+        txn = store.log.begin()
+        yield from txn.backup(value_ptr, 64)
+        yield from txn.fence_backups()
+        yield from txn.write(value_ptr, new_value)
+        yield from txn.fence_updates()
+        crash_point.succeed()   # power failure before commit!
+
+    system.sim.process(victim_program())
+    system.sim.run(stop_event=crash_point)
+    print(f"crash at t={system.sim.now:.0f} ns, "
+          f"mid-transaction (update persisted, commit missing)")
+
+    snapshot = system.crash()
+    print(f"ADR flushed the write queue; NVM holds "
+          f"{len(snapshot['nvm_lines'])} ciphertext lines")
+
+    state = recover(snapshot, [(store.log.base, store.log.capacity)],
+                    verify_macs=True)
+    print(f"recovery rolled back transactions: {state.rolled_back}")
+
+    recovered = state.read(victim_program.addr, 64)
+    assert recovered == victim_program.old, \
+        "uncommitted update must be rolled back"
+    print("uncommitted update rolled back to the pre-transaction value")
+
+    # Committed data survives, readable through dedup remap +
+    # counter-mode decryption + MAC verification.
+    survivors = sum(
+        1 for key in range(params.n_items)
+        if state.read(
+            int.from_bytes(
+                state.read(store._bucket_addr(key), 8), "little") or 8,
+            8))
+    print(f"store contents reachable after recovery "
+          f"({survivors} buckets probed) — crash consistency holds")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Fig. 1 / Fig. 3 demo: what one write's critical path looks like
+without BMOs, with serialized BMOs, with parallelized sub-operations,
+and with Janus pre-execution.
+
+Run:  python examples/timeline_demo.py
+"""
+
+from repro.bmo import build_pipeline
+from repro.bmo.base import ExternalInput
+from repro.common.config import default_config
+
+
+def main():
+    cfg = default_config()
+    pipeline = build_pipeline(cfg)
+    graph = pipeline.graph
+    units = cfg.janus.bmo_units
+
+    print("Fig. 1: the write critical path")
+    print(f"  cache writeback only (no BMOs): "
+          f"{cfg.cache.writeback_ns:.0f} ns")
+    print(f"  + serialized BMOs: "
+          f"{cfg.cache.writeback_ns + pipeline.serial_latency():.0f} ns "
+          f"({pipeline.serial_latency() / cfg.cache.writeback_ns:.0f}x "
+          f"extra)")
+    print()
+
+    print("Fig. 2/6: decomposition and classification")
+    print(pipeline.describe())
+    print()
+
+    serial = graph.serial_schedule(pipeline.bmo_order)
+    print(f"Fig. 3a — serialized ({serial.makespan:.0f} ns):")
+    print(serial.render(width=48))
+    print()
+
+    parallel = graph.parallel_schedule(units=units)
+    print(f"Fig. 3b — parallelized on {units} units "
+          f"({parallel.makespan:.0f} ns):")
+    print(parallel.render(width=48))
+    print()
+
+    addr_only = graph.runnable_with(frozenset({ExternalInput.ADDR}))
+    data_only = graph.runnable_with(frozenset({ExternalInput.DATA}))
+    both = graph.runnable_with(
+        frozenset({ExternalInput.ADDR, ExternalInput.DATA}))
+    print("Fig. 3c — pre-execution coverage:")
+    print(f"  with the address alone : {sorted(addr_only)}")
+    print(f"  with the data alone    : {sorted(data_only)}")
+    print(f"  with both              : all {len(both)} sub-ops -> "
+          f"0 ns left on the critical path")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — a Python reproduction of Janus (ISCA 2019).
+
+Janus parallelizes and pre-executes the backend memory operations
+(encryption, integrity verification, deduplication, ...) that sit on
+the write critical path of crash-consistent NVM software.
+
+Public API map:
+
+* build a machine: :func:`repro.common.config.default_config` ->
+  :class:`repro.core.NvmSystem`;
+* talk to it from a program: :class:`repro.core.Core` (read / store /
+  clwb / sfence / compute) and the Janus software interface on
+  ``core.api`` (:class:`repro.janus.JanusInterface`);
+* crash consistency: :class:`repro.consistency.UndoLog` /
+  :class:`repro.consistency.RedoLog` and
+  :func:`repro.consistency.recover`;
+* the paper's workloads: :func:`repro.workloads.make_workload`;
+* experiments: :mod:`repro.harness.experiments` (one driver per table
+  and figure) or ``python -m repro`` on the command line.
+"""
+
+from repro.common.config import SystemConfig, default_config
+from repro.core import NvmSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NvmSystem",
+    "SystemConfig",
+    "default_config",
+    "__version__",
+]

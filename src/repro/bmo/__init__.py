@@ -1,0 +1,44 @@
+"""Backend memory operations (BMOs) and their decomposition.
+
+This package implements the paper's first key idea (§3.1): each BMO —
+encryption, integrity verification, deduplication, compression,
+wear-leveling, ECC — is *decomposed* into sub-operations
+(:class:`SubOp`) with three kinds of dependencies:
+
+* **intra-operation** — between sub-ops of the same BMO (E1 -> E2);
+* **inter-operation** — across BMOs (D2 -> E3: duplicate writes are
+  cancelled before encryption);
+* **external** — on the address and/or data of the write itself.
+
+:class:`DependencyGraph` computes the transitive external-input
+closure of every sub-op, which classifies it as address-dependent,
+data-dependent, or both (Fig. 2b / Fig. 6) — the property Janus's
+pre-execution exploits.
+"""
+
+from repro.bmo.base import BmoContext, BackendOperation, ExternalInput, SubOp
+from repro.bmo.compression import CompressionBmo
+from repro.bmo.dedup import DedupBmo, DedupTable
+from repro.bmo.ecc import EccBmo
+from repro.bmo.encryption import EncryptionBmo
+from repro.bmo.graph import DependencyGraph
+from repro.bmo.integrity import IntegrityBmo
+from repro.bmo.pipeline import BmoPipeline, build_pipeline
+from repro.bmo.wear_leveling import WearLevelingBmo
+
+__all__ = [
+    "BackendOperation",
+    "BmoContext",
+    "BmoPipeline",
+    "CompressionBmo",
+    "DedupBmo",
+    "DedupTable",
+    "DependencyGraph",
+    "EccBmo",
+    "EncryptionBmo",
+    "ExternalInput",
+    "IntegrityBmo",
+    "SubOp",
+    "WearLevelingBmo",
+    "build_pipeline",
+]

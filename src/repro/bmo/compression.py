@@ -1,0 +1,77 @@
+"""Line compression as a BMO (FPC/BDI class, Table 1: 5-30 ns).
+
+Sub-operations:
+
+* ``C1`` — compress the line (data-dependent),
+* ``C2`` — update the size-mapping metadata entry (needs the address
+  and the compressed size).
+
+When compression and encryption are both enabled, the pipeline adds
+the inter-operation edge C1 -> E3: encryption must operate on the
+compressed bytes (the paper's introduction uses exactly this pair as
+the example of why monolithic BMOs appear unparallelisable).
+
+The functional model is honest about *compressibility* — it uses
+zlib over the real line bytes — but the stored NVM image remains one
+full line per line (size mapping is bookkeeping only); packing lines
+into sub-line extents is out of scope for the timing questions this
+repo answers, and is noted in DESIGN.md.
+"""
+
+import zlib
+from typing import Dict, Tuple
+
+from repro.bmo.base import (
+    ADDR,
+    BackendOperation,
+    BmoContext,
+    DATA,
+    SubOp,
+)
+from repro.common.config import BmoLatencies
+
+
+class CompressionBmo(BackendOperation):
+    """zlib-backed compressibility model with a size-mapping table."""
+
+    name = "compression"
+
+    def __init__(self, latencies: BmoLatencies):
+        super().__init__()
+        self.lat = latencies
+        #: addr -> compressed size in bytes (metadata).
+        self.size_map: Dict[int, int] = {}
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def _c1(self, ctx: BmoContext) -> None:
+        compressed = zlib.compress(ctx.data, level=1)
+        size = min(len(compressed), len(ctx.data))
+        ctx.values["compressed_size"] = size
+        ctx.values["compressed_data"] = (
+            compressed if len(compressed) < len(ctx.data) else ctx.data)
+
+    def _c2(self, ctx: BmoContext) -> None:
+        ctx.values["size_map_entry"] = (
+            ctx.addr, ctx.require("compressed_size"))
+
+    def subops(self) -> Tuple[SubOp, ...]:
+        return (
+            SubOp("C1", self.name, self.lat.compression_ns,
+                  deps=(), external=frozenset({DATA}), run=self._c1),
+            SubOp("C2", self.name, self.lat.remap_update_ns,
+                  deps=("C1",), external=frozenset({ADDR}), run=self._c2),
+        )
+
+    def commit(self, ctx: BmoContext) -> None:
+        addr, size = ctx.require("size_map_entry")
+        self.size_map[addr] = size
+        self.bytes_in += len(ctx.data)
+        self.bytes_out += size
+
+    def stale_subops(self, ctx: BmoContext) -> set:
+        return set()
+
+    def compression_ratio(self) -> float:
+        """Aggregate output/input byte ratio (1.0 = incompressible)."""
+        return self.bytes_out / self.bytes_in if self.bytes_in else 1.0

@@ -1,0 +1,121 @@
+"""Error correction as a BMO (ECC/ECP class, Table 1: 0.4-3 ns).
+
+Sub-operation ``X1`` computes the protection code for the outgoing
+line.  The functional model is a Hamming-style per-64-bit-word SECDED
+scheme reduced to what the tests need: the code *detects* any
+single-bit corruption of the stored line and *locates* the flipped
+bit within each 8-byte word via a parity-position syndrome, allowing
+correction.
+
+When encryption is in the pipeline the code is computed over the
+ciphertext (edge E3 -> X1), since that is what lives in the device;
+otherwise over the raw data.
+"""
+
+from typing import Optional, Tuple
+
+from repro.bmo.base import BackendOperation, BmoContext, DATA, SubOp
+from repro.common.config import BmoLatencies
+
+
+def _word_syndrome(word: int) -> int:
+    """Position-parity syndrome of a 64-bit word.
+
+    XOR of the indices of all set bits — flipping bit ``i`` changes
+    the syndrome by ``i ^ 0`` (if parity bookkeeping also carries the
+    overall parity, the flipped position is recoverable).
+    """
+    syndrome = 0
+    index = 1  # 1-based so position 0 is distinguishable
+    while word:
+        if word & 1:
+            syndrome ^= index
+        word >>= 1
+        index += 1
+    return syndrome
+
+
+def encode(line: bytes) -> bytes:
+    """Protection code: per-word (syndrome, parity) pairs."""
+    code = bytearray()
+    for offset in range(0, len(line), 8):
+        word = int.from_bytes(line[offset:offset + 8], "little")
+        syndrome = _word_syndrome(word)
+        parity = bin(word).count("1") & 1
+        code += syndrome.to_bytes(1, "little")
+        code += parity.to_bytes(1, "little")
+    return bytes(code)
+
+
+def check(line: bytes, code: bytes) -> Optional[bytes]:
+    """Verify ``line`` against ``code``; correct a single flipped bit.
+
+    Returns the (possibly corrected) line, or ``None`` if the damage
+    exceeds single-bit-per-word correction capability.
+    """
+    fixed = bytearray(line)
+    for word_index, offset in enumerate(range(0, len(line), 8)):
+        word = int.from_bytes(line[offset:offset + 8], "little")
+        stored_syndrome = code[word_index * 2]
+        stored_parity = code[word_index * 2 + 1]
+        syndrome = _word_syndrome(word)
+        parity = bin(word).count("1") & 1
+        if syndrome == stored_syndrome and parity == stored_parity:
+            continue
+        if parity == stored_parity:
+            return None  # even number of flips: uncorrectable here
+        flipped = syndrome ^ stored_syndrome
+        if not 1 <= flipped <= 64:
+            return None
+        word ^= 1 << (flipped - 1)
+        if _word_syndrome(word) != stored_syndrome:
+            return None
+        fixed[offset:offset + 8] = word.to_bytes(8, "little")
+    return bytes(fixed)
+
+
+class EccBmo(BackendOperation):
+    """Write-path ECC encode sub-operation."""
+
+    name = "ecc"
+
+    def __init__(self, latencies: BmoLatencies,
+                 with_encryption: bool = False):
+        super().__init__()
+        self.lat = latencies
+        self.with_encryption = with_encryption
+        #: addr -> protection code for the stored line.
+        self.codes = {}
+
+    def _x1(self, ctx: BmoContext) -> None:
+        if self.with_encryption:
+            payload = ctx.values.get("ciphertext")
+            if payload is None:  # duplicate write: nothing stored
+                ctx.values["ecc_code"] = None
+                return
+        else:
+            payload = ctx.data
+        ctx.values["ecc_code"] = encode(payload)
+
+    def subops(self) -> Tuple[SubOp, ...]:
+        deps = ("E3",) if self.with_encryption else ()
+        external = frozenset() if self.with_encryption else frozenset({DATA})
+        return (
+            SubOp("X1", self.name, self.lat.ecc_ns,
+                  deps=deps, external=external, run=self._x1),
+        )
+
+    def commit(self, ctx: BmoContext) -> None:
+        code = ctx.values.get("ecc_code")
+        if code is not None:
+            self.codes[ctx.addr] = code
+
+    def stale_subops(self, ctx: BmoContext) -> set:
+        return set()
+
+    def verify_line(self, addr: int, stored: bytes) -> Optional[bytes]:
+        """Scrub helper: check/correct a line read from the device."""
+        code = self.codes.get(addr)
+        if code is None:
+            return stored
+        return check(stored, code)

@@ -1,0 +1,111 @@
+"""Counter-mode encryption as a decomposed BMO.
+
+Sub-operations (paper §3.1):
+
+* ``E1`` — generate the new counter (address-dependent),
+* ``E2`` — generate the one-time pad ``OTP = En(counter | address)``,
+* ``E3`` — encrypt the data with an XOR (needs the data; also gated on
+  the dedup verdict when deduplication is in the pipeline, because
+  duplicate writes are cancelled),
+* ``E4`` — compute the MAC protecting the encrypted line (used by the
+  integrity mechanism; paper Fig. 6).
+
+``E1``/``E2`` transitively need only the address — they are the
+paper's canonical example of address-dependent pre-execution.
+"""
+
+from typing import Tuple
+
+from repro.bmo.base import (
+    ADDR,
+    BackendOperation,
+    BmoContext,
+    DATA,
+    SubOp,
+)
+from repro.common.config import BmoLatencies
+from repro.crypto.counter_mode import CounterModeEngine
+from repro.crypto.primitives import mac_of
+
+
+class EncryptionBmo(BackendOperation):
+    """Counter-mode encryption with per-line counters."""
+
+    name = "encryption"
+
+    def __init__(self, latencies: BmoLatencies,
+                 engine: CounterModeEngine = None,
+                 with_dedup: bool = False):
+        super().__init__()
+        self.lat = latencies
+        self.engine = engine or CounterModeEngine()
+        self.with_dedup = with_dedup
+        #: (addr, counter) -> MAC of the ciphertext written under that
+        #: pad (co-located metadata; recovery uses it to detect
+        #: device-level tampering).  Keyed by the pad identity, not
+        #: the address alone, because a deduplicated/relocated
+        #: ciphertext can outlive later writes to its original line.
+        self.macs = {}
+
+    # -- functional sub-op bodies -------------------------------------
+    def _e1(self, ctx: BmoContext) -> None:
+        ctx.values["counter"] = self.engine.next_counter(ctx.addr)
+
+    def _e2(self, ctx: BmoContext) -> None:
+        ctx.values["otp"] = self.engine.make_otp(
+            ctx.addr, ctx.require("counter"))
+
+    def _e3(self, ctx: BmoContext) -> None:
+        if ctx.values.get("is_dup"):
+            # Duplicate write: the data write is cancelled, nothing to
+            # encrypt (inter-operation dependency D2 -> E3).
+            ctx.values["ciphertext"] = None
+            return
+        ctx.values["ciphertext"] = self.engine.apply_pad(
+            ctx.data, ctx.require("otp"))
+
+    def _e4(self, ctx: BmoContext) -> None:
+        ciphertext = ctx.values.get("ciphertext")
+        if ciphertext is None:
+            ctx.values["mac"] = None
+            return
+        ctx.values["mac"] = mac_of(ciphertext, ctx.require("counter"))
+
+    def subops(self) -> Tuple[SubOp, ...]:
+        e3_deps = ("E2",) + (("D2",) if self.with_dedup else ())
+        return (
+            SubOp("E1", self.name, self.lat.counter_gen_ns,
+                  deps=(), external=frozenset({ADDR}), run=self._e1),
+            SubOp("E2", self.name, self.lat.aes_ns,
+                  deps=("E1",), run=self._e2),
+            SubOp("E3", self.name, self.lat.xor_ns,
+                  deps=e3_deps, external=frozenset({DATA}), run=self._e3),
+            SubOp("E4", self.name, self.lat.sha1_ns,
+                  deps=("E3",), run=self._e4),
+        )
+
+    # -- commit / staleness --------------------------------------------
+    def commit(self, ctx: BmoContext) -> None:
+        if ctx.values.get("is_dup"):
+            return  # cancelled write: no counter consumed
+        self.engine.commit_counter(ctx.addr, ctx.require("counter"))
+        mac = ctx.values.get("mac")
+        if mac is not None:
+            self.macs[(ctx.addr, ctx.require("counter"))] = mac
+
+    def stale_subops(self, ctx: BmoContext) -> set:
+        """E1's pre-executed counter is stale if another write to the
+        same line committed in between (§4.3.1, stale processor/memory
+        state)."""
+        if "counter" in ctx.values and \
+                ctx.values["counter"] != self.engine.next_counter(ctx.addr):
+            return {"E1"}
+        return set()
+
+    def unreconstructable_metadata(self) -> dict:
+        return {"counters": self.engine.snapshot_counters(),
+                "macs": dict(self.macs)}
+
+    def restore_metadata(self, snapshot: dict) -> None:
+        self.engine.restore_counters(snapshot["counters"])
+        self.macs = dict(snapshot.get("macs", {}))

@@ -1,0 +1,151 @@
+"""Event-driven execution of BMO sub-operations on shared units.
+
+Three execution styles, matching the paper's design points:
+
+* **serialized** — the BMOs run as monolithic blocks, back to back,
+  occupying one unit for their summed latency (the baseline system);
+* **dataflow** — each sub-operation becomes a simulator process that
+  waits for its dependencies, competes for a BMO unit, charges its
+  latency, runs its functional action, and signals completion.  With
+  ``k`` units this *is* list scheduling, and contention across
+  concurrent writes/cores emerges naturally from the shared
+  :class:`repro.sim.Resource`;
+* **partial/resume** — the same dataflow engine restricted to a subset
+  of sub-ops, used for pre-execution (run only what the available
+  inputs allow) and for completing or refreshing a write whose
+  pre-executed results were partially stale.
+"""
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.bmo.base import BmoContext
+from repro.bmo.pipeline import BmoPipeline
+from repro.common.errors import SimulationError
+from repro.sim import Resource, Simulator
+from repro.sim.stats import StatSet
+
+
+class BmoExecutor:
+    """Schedules sub-operations of one pipeline on shared BMO units."""
+
+    def __init__(self, sim: Simulator, pipeline: BmoPipeline,
+                 units: Resource, stats: Optional[StatSet] = None,
+                 pipeline_fraction: float = 0.25):
+        if not 0.0 < pipeline_fraction <= 1.0:
+            raise SimulationError(
+                "pipeline_fraction must be in (0, 1]")
+        self.sim = sim
+        self.pipeline = pipeline
+        self.units = units
+        #: BMO units are pipelined engines: a sub-op occupies its unit
+        #: for ``latency * pipeline_fraction`` (the initiation
+        #: interval) while its results appear after the full latency.
+        self.pipeline_fraction = pipeline_fraction
+        self.stats = stats or StatSet("bmo-executor")
+
+    # -- serialized baseline ---------------------------------------------
+    def run_serialized(self, ctx: BmoContext):
+        """Process: run all BMOs as one monolithic, serial block.
+
+        The block occupies a unit for its initiation interval and its
+        results appear after the full serial latency — the same
+        pipelined-engine model the dataflow path uses, so serialized
+        vs. parallel compares latency composition, not unit counts.
+        """
+        start = self.sim.now
+        latency = self.pipeline.serial_latency()
+        yield self.units.acquire()
+        try:
+            yield self.sim.timeout(latency * self.pipeline_fraction)
+        finally:
+            self.units.release()
+        yield self.sim.timeout(latency * (1.0 - self.pipeline_fraction))
+        self.pipeline.execute_all(ctx)
+        self.stats.histogram("serialized_block_ns").observe(
+            self.sim.now - start)
+        return ctx
+
+    # -- dataflow execution ------------------------------------------------
+    def run_subops(self, ctx: BmoContext,
+                   names: Optional[Iterable[str]] = None):
+        """Process: execute ``names`` (default: all not yet completed)
+        as a dependency-respecting dataflow on the shared units.
+        Completes when every requested sub-op has run.
+        """
+        graph = self.pipeline.graph
+        if names is None:
+            targets = [n for n in graph.topological_order
+                       if n not in ctx.completed]
+        else:
+            targets = [n for n in graph.topological_order
+                       if n in set(names) and n not in ctx.completed]
+        if not targets:
+            return ctx
+        target_set: Set[str] = set(targets)
+        for name in targets:
+            for dep in graph.subops[name].deps:
+                if dep not in target_set and dep not in ctx.completed:
+                    raise SimulationError(
+                        f"cannot run {name!r}: dependency {dep!r} neither "
+                        f"completed nor scheduled")
+        done: Dict[str, object] = {
+            name: self.sim.event(f"done:{name}") for name in targets}
+        children = [
+            self.sim.process(self._run_one(ctx, name, done),
+                             name=f"subop:{name}")
+            for name in targets
+        ]
+        yield self.sim.all_of(children)
+        return ctx
+
+    def _run_one(self, ctx: BmoContext, name: str,
+                 done: Dict[str, object]):
+        op = self.pipeline.graph.subops[name]
+        waits = [done[d] for d in op.deps if d in done]
+        if waits:
+            yield self.sim.all_of(waits)
+        if op.latency_ns > 0:
+            occupancy = op.latency_ns * self.pipeline_fraction
+            yield self.units.acquire()
+            try:
+                yield self.sim.timeout(occupancy)
+            finally:
+                self.units.release()
+            yield self.sim.timeout(op.latency_ns - occupancy)
+            op.execute(ctx)
+        else:
+            op.execute(ctx)
+        self.stats.counter("subops_executed").add()
+        done[name].succeed()
+
+    # -- pre-execution helpers -----------------------------------------------
+    def pre_executable(self, ctx: BmoContext) -> list:
+        """Sub-ops whose external requirements ``ctx`` can satisfy."""
+        return self.pipeline.graph.runnable_with(ctx.available_inputs)
+
+    def run_pre_execution(self, ctx: BmoContext):
+        """Process: run everything the context's inputs allow."""
+        runnable = self.pre_executable(ctx)
+        self.stats.counter("pre_exec_requests").add()
+        yield from self.run_subops(ctx, runnable)
+        return ctx
+
+    def refresh_and_complete(self, ctx: BmoContext):
+        """Process: bring ``ctx`` to a committed-ready state.
+
+        Re-runs stale sub-ops (and their dependents) until the context
+        is both complete and fresh.  Called by the memory controller
+        with the write's final address and data already installed.
+        """
+        if ctx.addr is None or ctx.data is None:
+            raise SimulationError("write context needs both addr and data")
+        while True:
+            stale = self.pipeline.stale_subops(ctx)
+            if stale:
+                self.stats.counter("stale_subops_rerun").add(len(stale))
+                self.pipeline.invalidate(ctx, stale)
+            remaining = [n for n in self.pipeline.graph.topological_order
+                         if n not in ctx.completed]
+            if not remaining:
+                return ctx
+            yield from self.run_subops(ctx, remaining)

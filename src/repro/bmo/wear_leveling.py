@@ -1,0 +1,109 @@
+"""Start-Gap wear-leveling as a BMO (Table 1: ~1 ns).
+
+Start-Gap (Qureshi et al., MICRO'09) keeps one spare "gap" slot per
+region and, every ``gap_write_interval`` writes, slides the line next
+to the gap into it.  Over time every logical line visits every
+physical slot, evening out cell wear without a full remap table.
+
+We implement the permutation *operationally* (explicit logical<->
+physical maps plus a gap cursor), which is exact and lets property
+tests assert the two invariants that matter: the mapping is always a
+bijection, and a full rotation returns every line to a shifted slot
+exactly once.
+
+Sub-operation ``W1`` resolves the physical address — address-
+dependent, so it pre-executes with the address alone.  When enabled,
+the pipeline routes the encryption counter lookup through the
+*logical* address (pads are address-stable across remaps), and the
+memory controller writes the device at the physical slot.
+"""
+
+from typing import Dict, Tuple
+
+from repro.bmo.base import ADDR, BackendOperation, BmoContext, SubOp
+from repro.common.config import BmoLatencies
+from repro.common.errors import SimulationError
+
+
+class StartGap:
+    """One Start-Gap region over ``lines`` logical lines."""
+
+    def __init__(self, lines: int, line_bytes: int = 64,
+                 gap_write_interval: int = 100):
+        if lines < 1:
+            raise SimulationError("start-gap region needs >= 1 line")
+        self.lines = lines
+        self.line_bytes = line_bytes
+        self.gap_write_interval = gap_write_interval
+        # Physical slots 0..lines (one extra: the gap).
+        self._phys_of: Dict[int, int] = {l: l for l in range(lines)}
+        self._logical_at: Dict[int, int] = {l: l for l in range(lines)}
+        self._gap = lines  # physical slot currently empty
+        self._writes = 0
+        self.moves = 0
+
+    def physical_slot(self, logical_line: int) -> int:
+        if not 0 <= logical_line < self.lines:
+            raise SimulationError(
+                f"logical line {logical_line} outside region")
+        return self._phys_of[logical_line]
+
+    def record_write(self) -> None:
+        """Count a write; periodically move the gap one slot."""
+        self._writes += 1
+        if self._writes % self.gap_write_interval == 0:
+            self._move_gap()
+
+    def _move_gap(self) -> None:
+        # The line in the slot "before" the gap slides into the gap.
+        victim_slot = (self._gap - 1) % (self.lines + 1)
+        logical = self._logical_at.pop(victim_slot, None)
+        if logical is not None:
+            self._phys_of[logical] = self._gap
+            self._logical_at[self._gap] = logical
+        self._gap = victim_slot
+        self.moves += 1
+
+    def mapping_is_bijective(self) -> bool:
+        phys = sorted(self._phys_of.values())
+        return len(set(phys)) == self.lines and self._gap not in phys
+
+
+class WearLevelingBmo(BackendOperation):
+    """Start-Gap address remapping as a pre-executable sub-operation."""
+
+    name = "wear_leveling"
+
+    def __init__(self, latencies: BmoLatencies, region_lines: int = 1 << 16,
+                 line_bytes: int = 64, gap_write_interval: int = 100):
+        super().__init__()
+        self.lat = latencies
+        self.line_bytes = line_bytes
+        self.start_gap = StartGap(region_lines, line_bytes,
+                                  gap_write_interval)
+
+    def _w1(self, ctx: BmoContext) -> None:
+        logical_line = (ctx.addr // self.line_bytes) % self.start_gap.lines
+        slot = self.start_gap.physical_slot(logical_line)
+        ctx.values["wl_slot"] = slot
+        ctx.values["wl_addr"] = slot * self.line_bytes
+
+    def subops(self) -> Tuple[SubOp, ...]:
+        return (
+            SubOp("W1", self.name, self.lat.wear_leveling_ns,
+                  deps=(), external=frozenset({ADDR}), run=self._w1),
+        )
+
+    def commit(self, ctx: BmoContext) -> None:
+        self.start_gap.record_write()
+
+    def stale_subops(self, ctx: BmoContext) -> set:
+        """A gap move between pre-execution and the write remaps the
+        line: the resolved slot is stale."""
+        if "wl_slot" not in ctx.values:
+            return set()
+        logical_line = (ctx.addr // self.line_bytes) % self.start_gap.lines
+        if self.start_gap.physical_slot(logical_line) != \
+                ctx.values["wl_slot"]:
+            return {"W1"}
+        return set()

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``figures``
+    List the reproducible tables/figures.
+``figure <name> [--scale S]``
+    Regenerate one table/figure and print it (e.g. ``figure fig9``).
+``run <workload> [--mode M] [--variant V] [--cores N] [--txns T]``
+    Simulate one design point and print timing + stats.
+``compare <workload> [...]``
+    Run all four design points for a workload and print speedups.
+``plan <workload> [--variant V]``
+    Show the instrumentation plan (and the §6 window estimate).
+``misuse <workload>``
+    Run the workload under Janus and print the misuse report.
+"""
+
+import argparse
+import sys
+
+from repro.harness import experiments
+from repro.harness.report import Table
+from repro.harness.runner import run_point, speedup_over
+from repro.workloads import WORKLOADS, WorkloadParams
+
+FIGURES = {
+    "table1": lambda scale: experiments.table1_bmo_catalog(),
+    "fig3": lambda scale: experiments.fig3_timeline(),
+    "fig6": lambda scale: experiments.fig6_dependency_graph(),
+    "fig9": lambda scale: experiments.fig9_multicore(scale=scale),
+    "fig10": lambda scale: experiments.fig10_ideal_comparison(
+        scale=scale),
+    "fig11": lambda scale: experiments.fig11_compiler(scale=scale),
+    "fig12": lambda scale: experiments.fig12_dedup(scale=scale),
+    "fig13": lambda scale: experiments.fig13_transaction_size(
+        scale=scale),
+    "fig14": lambda scale: experiments.fig14_resources(scale=scale),
+    "overhead": lambda scale: experiments.overhead_analysis(),
+    "composition": lambda scale: experiments.bmo_composition(
+        scale=scale),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Janus (ISCA'19) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="list reproducible figures")
+
+    figure = sub.add_parser("figure", help="regenerate one figure")
+    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("--scale", type=float, default=0.5)
+    figure.add_argument("--chart", action="store_true",
+                        help="also render as bars (fig9/fig11)")
+
+    def add_workload_args(p, modes=True):
+        p.add_argument("workload", choices=sorted(WORKLOADS))
+        p.add_argument("--txns", type=int, default=24)
+        p.add_argument("--items", type=int, default=32)
+        p.add_argument("--value-size", type=int, default=64)
+        if modes:
+            p.add_argument("--mode", default="janus",
+                           choices=("serialized", "parallel", "janus",
+                                    "ideal"))
+            p.add_argument("--variant", default=None,
+                           choices=("baseline", "manual", "auto"))
+            p.add_argument("--cores", type=int, default=1)
+
+    run = sub.add_parser("run", help="simulate one design point")
+    add_workload_args(run)
+
+    compare = sub.add_parser("compare",
+                             help="all four design points")
+    add_workload_args(compare, modes=False)
+
+    plan = sub.add_parser("plan", help="show instrumentation plan")
+    plan.add_argument("workload", choices=sorted(WORKLOADS))
+    plan.add_argument("--variant", default="auto",
+                      choices=("manual", "auto"))
+
+    misuse = sub.add_parser("misuse", help="misuse report for a run")
+    add_workload_args(misuse, modes=False)
+    misuse.add_argument("--variant", default="manual",
+                        choices=("manual", "auto"))
+    return parser
+
+
+def _params(args) -> WorkloadParams:
+    return WorkloadParams(n_items=args.items,
+                          value_size=args.value_size,
+                          n_transactions=args.txns)
+
+
+def cmd_figures(_args) -> int:
+    for name in sorted(FIGURES):
+        print(name)
+    return 0
+
+
+def cmd_figure(args) -> int:
+    result = FIGURES[args.name](args.scale)
+    print(result.rendered)
+    if getattr(args, "chart", False):
+        from repro.harness.plot import fig9_chart, fig11_chart
+        if args.name == "fig9":
+            print()
+            print(fig9_chart(result.data))
+        elif args.name == "fig11":
+            print()
+            print(fig11_chart(result.data))
+    return 0
+
+
+def cmd_run(args) -> int:
+    result = run_point(args.workload, mode=args.mode,
+                       variant=args.variant, cores=args.cores,
+                       params=_params(args))
+    print(f"{result.workload} mode={result.mode} "
+          f"variant={result.variant} cores={result.cores}")
+    print(f"  elapsed {result.elapsed_ns:,.0f} ns for "
+          f"{result.transactions} transactions "
+          f"({result.ns_per_transaction:,.0f} ns/txn)")
+    for key in sorted(result.stats):
+        print(f"  {key:40s} {result.stats[key]:.2f}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    params = _params(args)
+    serialized = run_point(args.workload, mode="serialized",
+                           params=params)
+    table = Table(f"{args.workload}: design-point comparison",
+                  ["design", "ns/txn", "speedup vs serialized"])
+    table.add_row("serialized", serialized.ns_per_transaction, 1.0)
+    for mode, variant in (("parallel", None), ("janus", "manual"),
+                          ("janus", "auto"), ("ideal", None)):
+        result = run_point(args.workload, mode=mode, variant=variant,
+                           params=params)
+        label = mode if variant in (None, "manual") else f"{mode}-auto"
+        if mode == "janus" and variant == "manual":
+            label = "janus-manual"
+        table.add_row(label, result.ns_per_transaction,
+                      speedup_over(serialized, result))
+    print(table.render())
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.bmo import build_pipeline
+    from repro.common.config import default_config
+    from repro.compiler.window import render_report
+    from repro.workloads.registry import plan_for
+
+    cls = WORKLOADS[args.workload]
+    plan = plan_for(cls, args.variant)
+    print(plan.describe())
+    print()
+    graph = build_pipeline(default_config()).graph
+    print(render_report(cls.template(), plan, graph))
+    return 0
+
+
+def cmd_misuse(args) -> int:
+    from repro.common.config import default_config
+    from repro.core import NvmSystem
+    from repro.janus.misuse import diagnose
+    from repro.workloads import make_workload
+
+    system = NvmSystem(default_config(mode="janus"))
+    workload = make_workload(args.workload, system, system.cores[0],
+                             _params(args), variant=args.variant)
+    system.run_programs([workload.run()])
+    print(diagnose(system).render())
+    return 0
+
+
+COMMANDS = {
+    "figures": cmd_figures,
+    "figure": cmd_figure,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "plan": cmd_plan,
+    "misuse": cmd_misuse,
+}
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Shared infrastructure: units, errors, configuration, deterministic RNG.
+
+Everything in this package is dependency-free and used by every other
+subpackage.  Latency values are plain floats in nanoseconds (see
+:mod:`repro.common.units`), and every tunable of the simulated system
+lives in the dataclasses of :mod:`repro.common.config`, which mirror
+Table 3 of the paper.
+"""
+
+from repro.common.config import (
+    BmoLatencies,
+    CacheConfig,
+    DedupConfig,
+    JanusConfig,
+    MemoryConfig,
+    SystemConfig,
+)
+from repro.common.errors import (
+    ConfigError,
+    IntegrityError,
+    ReproError,
+    SimulationError,
+)
+from repro.common.rng import DeterministicRng
+from repro.common.units import (
+    CACHE_LINE_BYTES,
+    GHZ,
+    KIB,
+    MIB,
+    NS,
+    US,
+    cycles_to_ns,
+    ns_to_cycles,
+)
+
+__all__ = [
+    "BmoLatencies",
+    "CacheConfig",
+    "CACHE_LINE_BYTES",
+    "ConfigError",
+    "DedupConfig",
+    "DeterministicRng",
+    "GHZ",
+    "IntegrityError",
+    "JanusConfig",
+    "KIB",
+    "MemoryConfig",
+    "MIB",
+    "NS",
+    "ReproError",
+    "SimulationError",
+    "SystemConfig",
+    "US",
+    "cycles_to_ns",
+    "ns_to_cycles",
+]

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an illegal state."""
+
+
+class MemoryError_(ReproError):
+    """An access touched unmapped or misaligned simulated memory."""
+
+
+class IntegrityError(ReproError):
+    """Integrity verification failed (Merkle root / MAC mismatch)."""
+
+
+class CryptoError(ReproError):
+    """Encryption or decryption was used inconsistently."""
+
+
+class AllocationError(ReproError):
+    """The NVM heap could not satisfy an allocation request."""
+
+
+class RecoveryError(ReproError):
+    """Post-crash recovery found persistent state it cannot repair."""
+
+
+class InstrumentationError(ReproError):
+    """The compiler pass was given malformed transaction IR."""

@@ -1,0 +1,60 @@
+"""The automated instrumentation pass (paper §4.5).
+
+Workloads describe each transaction kind as a static *template* in a
+small IR (:mod:`repro.compiler.ir`): statements over symbolic
+variables, with explicit address-generation steps, stores, blocking
+writebacks, loops, and conditionals, plus named *hook points* where
+instrumentation may be injected.
+
+The pass (:mod:`repro.compiler.instrument`) performs the paper's three
+steps on a template:
+
+1. locate blocking writebacks (a ``Writeback`` whose fence follows);
+2. dependence analysis — for the address, walk the chain of
+   address-generation statements; for the data, find the defining
+   store/value;
+3. inject ``PRE_ADDR`` / ``PRE_DATA`` directives as early as the
+   dependences allow — hoisting hoistable address generation, staying
+   inside the same conditional branch, and *giving up* on writebacks
+   inside loops or behind memory-dependent address generation
+   (§4.5.2's limitations, which is what makes Queue and RB-Tree gain
+   little from the automated pass in Fig. 11).
+
+The output is an :class:`InstrumentationPlan` mapping hook points to
+directives; the workload programs consult the plan at runtime.  The
+*manual* plans are hand-written by the workload authors and may use
+knowledge the static pass cannot (per-iteration pre-execution inside
+loops, runtime addresses).
+"""
+
+from repro.compiler.instrument import (
+    AutoInstrumenter,
+    Directive,
+    InstrumentationPlan,
+)
+from repro.compiler.ir import (
+    AddrGen,
+    Cond,
+    Fence,
+    Hook,
+    Loop,
+    Stmt,
+    Store,
+    Template,
+    Writeback,
+)
+
+__all__ = [
+    "AddrGen",
+    "AutoInstrumenter",
+    "Cond",
+    "Directive",
+    "Fence",
+    "Hook",
+    "InstrumentationPlan",
+    "Loop",
+    "Stmt",
+    "Store",
+    "Template",
+    "Writeback",
+]

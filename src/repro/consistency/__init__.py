@@ -1,0 +1,32 @@
+"""Crash-consistency mechanisms and post-crash recovery.
+
+The paper's workloads are undo-logging transactions (§2.1's running
+example); :class:`UndoLog` implements that protocol over the simulated
+persist primitives, with the three fence-delimited phases the paper's
+Fig. 3 timeline shows (backup -> update -> commit).  A redo-logging
+variant is provided for completeness and for the programming-model
+generality claims of the software interface (§3.2 requirement 4).
+
+:mod:`repro.consistency.recovery` rebuilds program-visible plaintext
+from a crash snapshot — NVM ciphertext plus the unreconstructable BMO
+metadata — and rolls back uncommitted transactions from the log, which
+is what makes "crash consistent" a tested property of this repo rather
+than an assumption.
+"""
+
+from repro.consistency.recovery import RecoveredState, recover
+from repro.consistency.redo_log import RedoLog
+from repro.consistency.scrub import ScrubReport, scrub
+from repro.consistency.shadow import ShadowObject
+from repro.consistency.undo_log import UndoLog, UndoTransaction
+
+__all__ = [
+    "RecoveredState",
+    "RedoLog",
+    "ScrubReport",
+    "ShadowObject",
+    "UndoLog",
+    "UndoTransaction",
+    "recover",
+    "scrub",
+]

@@ -1,0 +1,123 @@
+"""Redo logging — the alternative programming model (§2.1).
+
+A redo transaction writes the *new* values to the log first, commits,
+and only then performs the in-place updates (which may be lazy: on
+crash, a committed transaction's updates are replayed from the log).
+
+The interesting contrast with undo logging for Janus is *when inputs
+become known*: a redo log knows both address and data of the final
+in-place write at log-append time, so the whole BMO chain of the
+in-place write can be pre-executed with ``PRE_BOTH`` during logging —
+an even larger window than undo logging's.
+"""
+
+import struct
+from typing import List, Tuple
+
+from repro.common.errors import RecoveryError, SimulationError
+from repro.common.units import CACHE_LINE_BYTES, align_up
+
+_REDO_MAGIC = 0x5245444F   # 'REDO'
+_RCOMMIT_MAGIC = 0x52434D54  # 'RCMT'
+_HEADER = struct.Struct("<IQQQ")
+
+
+def parse_redo_log(read_line, base: int, capacity: int):
+    """Scan a redo-log region in recovered plaintext.
+
+    Yields ``("update", txn_id, addr, size, payload_addr)`` and
+    ``("commit", txn_id, 0, 0, record_addr)`` in log order.
+    """
+    offset = base
+    end = base + capacity
+    while offset + CACHE_LINE_BYTES <= end:
+        line = read_line(offset)
+        magic, txn_id, addr, size = _HEADER.unpack_from(line)
+        if magic == _REDO_MAGIC:
+            if size <= 0 or size > capacity:
+                raise RecoveryError(
+                    f"corrupt redo record at {offset:#x}")
+            yield ("update", txn_id, addr, size,
+                   offset + CACHE_LINE_BYTES)
+            offset += CACHE_LINE_BYTES + align_up(size)
+        elif magic == _RCOMMIT_MAGIC:
+            yield ("commit", txn_id, 0, 0, offset)
+            offset += CACHE_LINE_BYTES
+        else:
+            break
+
+
+class RedoLog:
+    """A per-core redo-log region in NVM."""
+
+    def __init__(self, core, capacity_bytes: int = 1 << 20):
+        self.core = core
+        self.system = core.system
+        self.capacity = align_up(capacity_bytes)
+        self.base = self.system.heap.alloc_line(
+            self.capacity, label=f"redo-log-{core.core_id}")
+        self._head = self.base
+
+    def _reserve(self, nbytes: int) -> int:
+        nbytes = align_up(nbytes)
+        if self._head + nbytes > self.base + self.capacity:
+            self._head = self.base
+        addr = self._head
+        self._head += nbytes
+        return addr
+
+    def begin(self) -> "RedoTransaction":
+        self.core.current_txn_id += 1
+        return RedoTransaction(self, self.core.current_txn_id)
+
+
+class RedoTransaction:
+    """One in-flight redo-logging transaction."""
+
+    def __init__(self, log: RedoLog, txn_id: int):
+        self.log = log
+        self.core = log.core
+        self.txn_id = txn_id
+        self.pending: List[Tuple[int, bytes]] = []
+        self.committed = False
+        self._phase = "log"
+
+    def log_update(self, addr: int, data: bytes):
+        """Append (addr, new data) to the log; defers the real write."""
+        if self._phase != "log":
+            raise SimulationError(f"log_update() in phase {self._phase!r}")
+        record_addr = self.log._reserve(
+            CACHE_LINE_BYTES + align_up(len(data)))
+        header = _HEADER.pack(_REDO_MAGIC, self.txn_id, addr, len(data))
+        yield from self.core.store(record_addr,
+                                   header.ljust(CACHE_LINE_BYTES, b"\x00"))
+        yield from self.core.store(record_addr + CACHE_LINE_BYTES, data)
+        yield from self.core.clwb(record_addr,
+                                  CACHE_LINE_BYTES + align_up(len(data)))
+        self.pending.append((addr, bytes(data)))
+
+    def commit(self):
+        """Persist the log, then the commit record; updates follow."""
+        if self._phase != "log":
+            raise SimulationError(f"commit() in phase {self._phase!r}")
+        yield from self.core.sfence()
+        record_addr = self.log._reserve(CACHE_LINE_BYTES)
+        header = _HEADER.pack(_RCOMMIT_MAGIC, self.txn_id, 0, 0)
+        yield from self.core.store(record_addr,
+                                   header.ljust(CACHE_LINE_BYTES, b"\x00"))
+        yield from self.core.clwb(record_addr, CACHE_LINE_BYTES,
+                                  critical=True)
+        yield from self.core.sfence()
+        self.committed = True
+        self._phase = "apply"
+
+    def apply_updates(self):
+        """Perform the deferred in-place writes (off the commit path)."""
+        if self._phase != "apply":
+            raise SimulationError(
+                f"apply_updates() before commit (phase {self._phase!r})")
+        for addr, data in self.pending:
+            yield from self.core.store(addr, data)
+            yield from self.core.clwb(addr, len(data))
+        yield from self.core.sfence()
+        self._phase = "done"

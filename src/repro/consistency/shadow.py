@@ -1,0 +1,120 @@
+"""Shadow paging (copy-on-write) crash consistency (paper §2.1).
+
+The third programming model the paper lists beside undo and redo
+logging: updates go to freshly-allocated *shadow* copies, and a single
+atomic root-pointer switch commits the whole transaction.  Recovery is
+trivial — the root pointer always names a complete version.
+
+Shadow paging is the best case for Janus: every shadow page's address
+is known the moment it is allocated and its contents the moment they
+are computed — both long before the commit switch — so the entire
+write set can be pre-executed with ``PRE_BOTH`` (tests show near-zero
+residual BMO latency on the shadow writes).
+
+Layout
+------
+
+* a line-sized **root cell** holding the current version's base
+  address (the atomic switch target);
+* versions are objects of ``object_bytes``, each a fresh line-aligned
+  allocation.
+"""
+
+from typing import Optional
+
+from repro.common.errors import SimulationError
+from repro.common.units import CACHE_LINE_BYTES, align_up
+
+
+class ShadowObject:
+    """One crash-consistent object updated by copy-on-write."""
+
+    def __init__(self, core, object_bytes: int,
+                 initial: Optional[bytes] = None):
+        self.core = core
+        self.system = core.system
+        self.object_bytes = align_up(object_bytes)
+        heap = self.system.heap
+        self.root_cell = heap.alloc_line(CACHE_LINE_BYTES,
+                                         label="shadow-root")
+        first = heap.alloc_line(self.object_bytes, label="shadow-v0")
+        self._seed(first, (initial or b"").ljust(self.object_bytes,
+                                                 b"\x00"))
+        self._seed(self.root_cell,
+                   first.to_bytes(8, "little").ljust(CACHE_LINE_BYTES,
+                                                     b"\x00"))
+        self.versions_retired = 0
+
+    def _seed(self, addr: int, data: bytes) -> None:
+        """Functional installation (setup only, no simulated time)."""
+        system = self.system
+        system.volatile.write(addr, data)
+        from repro.common.units import line_span
+        for line in line_span(addr, len(data)):
+            ctx = system.pipeline.make_context(
+                addr=line, data=system.volatile.read_line(line))
+            system.pipeline.execute_all(ctx)
+            action = system.pipeline.commit(ctx)
+            if action.write_data:
+                system.nvm.write_line(action.device_addr,
+                                      action.payload)
+
+    # -- reads -----------------------------------------------------------
+    def current_base(self) -> int:
+        return int.from_bytes(
+            self.system.volatile.read(self.root_cell, 8), "little")
+
+    def read(self):
+        """Process: read the current version's contents."""
+        base = self.current_base()
+        value = yield from self.core.read(base, self.object_bytes)
+        return value
+
+    # -- the copy-on-write transaction -------------------------------------
+    def update(self, new_contents: bytes, pre_execute: bool = True):
+        """Process: atomically replace the object's contents.
+
+        1. allocate a shadow copy (address known here -> PRE_BOTH);
+        2. write + persist the shadow (off the old version's path);
+        3. atomically switch the root pointer (the critical write).
+        """
+        if len(new_contents) != self.object_bytes:
+            raise SimulationError(
+                f"shadow update needs exactly {self.object_bytes} "
+                f"bytes, got {len(new_contents)}")
+        core = self.core
+        heap = self.system.heap
+        shadow = heap.alloc_line(self.object_bytes, label="shadow-v")
+        new_root = shadow.to_bytes(8, "little").ljust(
+            CACHE_LINE_BYTES, b"\x00")
+
+        if pre_execute and core.api.enabled:
+            obj = core.api.pre_init()
+            yield from core.api.pre_both(obj, shadow, new_contents)
+            root_obj = core.api.pre_init()
+            yield from core.api.pre_both(root_obj, self.root_cell,
+                                         new_root)
+
+        # Phase 1: persist the complete shadow version.
+        yield from core.store(shadow, new_contents)
+        yield from core.clwb(shadow, self.object_bytes)
+        yield from core.sfence()
+
+        # Phase 2: the atomic switch — the consistency-critical write.
+        old_base = self.current_base()
+        yield from core.store(self.root_cell, new_root)
+        yield from core.clwb(self.root_cell, CACHE_LINE_BYTES,
+                             critical=True)
+        yield from core.sfence()
+
+        # Old version is dead; reclaim it.
+        self.system.heap.free(old_base)
+        self.versions_retired += 1
+
+    # -- recovery ---------------------------------------------------------
+    def recover_contents(self, state) -> bytes:
+        """Read the object through a :class:`RecoveredState`: whatever
+        version the persisted root cell names is complete by
+        construction."""
+        base = int.from_bytes(state.read(self.root_cell, 8), "little")
+        return state.read(base, self.object_bytes)

@@ -1,0 +1,19 @@
+"""System assembly: cores + memory controller + BMO/Janus datapath.
+
+:class:`NvmSystem` wires every substrate into one simulated machine
+and exposes the four design points the paper evaluates:
+
+* ``serialized`` — BMOs run as monolithic blocks on the write's
+  critical path (the baseline of every figure);
+* ``parallel``   — decomposed sub-operations, list-scheduled on the
+  BMO units, still starting only when the write reaches the memory
+  controller (the "Parallelization" bars);
+* ``janus``      — parallelized *and* pre-executed through the
+  software interface and the IRB (the "Pre-execution" bars);
+* ``ideal``      — non-blocking writeback: BMO latency entirely off
+  the critical path (Fig. 10's reference line).
+"""
+
+from repro.core.machine import Core, MemoryController, NvmSystem
+
+__all__ = ["Core", "MemoryController", "NvmSystem"]

@@ -1,0 +1,419 @@
+"""Cores, the memory controller, and the assembled NVM system."""
+
+from typing import Dict, List, Optional
+
+from repro.bmo.dedup import DedupTable
+from repro.bmo.executor import BmoExecutor
+from repro.bmo.pipeline import build_pipeline
+from repro.common.config import SystemConfig
+from repro.common.errors import SimulationError
+from repro.common.rng import DeterministicRng
+from repro.common.units import CACHE_LINE_BYTES, line_span
+from repro.janus.api import JanusInterface
+from repro.janus.engine import JanusEngine
+from repro.mem.cache import CacheModel
+from repro.mem.heap import NvmHeap
+from repro.mem.memory import FunctionalMemory, VolatileView
+from repro.mem.nvm_device import NvmDevice
+from repro.mem.write_queue import WriteEntry, WriteQueue
+from repro.sim import Resource, Simulator
+from repro.sim.stats import StatSet
+
+
+class MemoryController:
+    """Write path: cache writeback -> BMOs (mode-dependent) -> persist.
+
+    The persist point is acceptance into the write queue (ADR); the
+    device write and any relocation traffic continue in the
+    background.  Metadata lines (counter / remap entry) are persisted
+    alongside the data; with *selective* metadata atomicity (§4.3)
+    only consistency-critical writes (transaction commits) wait for
+    the metadata acceptance, other writes let it drain lazily.
+    """
+
+    #: Line in the metadata region used to model metadata writebacks.
+    METADATA_REGION_LINES = 1 << 14
+
+    def __init__(self, system: "NvmSystem"):
+        self.system = system
+        self.sim = system.sim
+        self.cfg = system.cfg
+        self.stats = StatSet("memory-controller")
+        #: Optional :class:`repro.harness.trace.WriteTracer`.
+        self.tracer = None
+        # Counter cache (Table 3: 512 KB, shared): on a read miss from
+        # the device, a cached counter lets the OTP generation overlap
+        # the data fetch (counter-mode's read-latency trick, §2.2);
+        # a counter-cache miss serialises the counter fetch + AES.
+        from repro.mem.cache import _SetAssocArray
+        self._has_encryption = "encryption" in system.pipeline.by_name
+        counter_entry_bytes = 16
+        self._counter_cache = _SetAssocArray(
+            self.cfg.cache.counter_cache_bytes, ways=16,
+            line_bytes=counter_entry_bytes)
+        self._metadata_base = (self.cfg.memory.capacity_bytes
+                               - self.METADATA_REGION_LINES
+                               * CACHE_LINE_BYTES)
+        # Ideal mode: background BMO/commit work races unless chained;
+        # real hardware still orders same-line writes in the queue.
+        self._ideal_line_chains = {}
+
+    def read_decrypt_penalty_ns(self, line_addr: int,
+                                streamed: bool) -> float:
+        """Extra read latency for decrypting a line fetched from NVM.
+
+        ``streamed`` marks tail lines of a sequential access whose
+        fetch overlaps the previous lines' decryption.
+        """
+        if not self._has_encryption:
+            return 0.0
+        lat = self.cfg.bmo_latencies
+        # Tag the counter cache by the line's metadata entry.
+        hit = self._counter_cache.access(
+            (line_addr // CACHE_LINE_BYTES) * 16)
+        if hit:
+            self.stats.counter("counter_cache_hits").add()
+            return 0.0 if streamed else lat.xor_ns
+        self.stats.counter("counter_cache_misses").add()
+        if streamed:
+            return self.cfg.core.stream_line_ns
+        return self.cfg.memory.read_service_ns + lat.aes_ns \
+            + lat.xor_ns
+
+    def counter_cache_hit_rate(self) -> float:
+        hits = self.stats.counter("counter_cache_hits").value
+        misses = self.stats.counter("counter_cache_misses").value
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def writeback(self, thread_id: int, line_addr: int,
+                  critical: bool = False):
+        """Process: one cache-line writeback to the persist domain.
+
+        Returns when the write (and, when required, its metadata) is
+        durably accepted.  This is what a ``clwb``'s completion —
+        observed by the next ``sfence`` — waits for.
+        """
+        system = self.system
+        self.stats.counter("writebacks").add()
+        start = self.sim.now
+        # Cache hierarchy -> memory controller transfer (~15 ns).
+        yield self.sim.timeout(self.cfg.cache.writeback_ns)
+        data = system.volatile.read_line(line_addr)
+
+        mode = self.cfg.mode
+        mc_arrival = self.sim.now
+        if mode == "ideal":
+            # Non-blocking writeback: BMOs run off the critical path.
+            # Same-line writes chain so commits keep program order —
+            # being off the critical path must not reorder a line's
+            # final contents (hypothesis found exactly that bug).
+            previous = self._ideal_line_chains.get(line_addr)
+            proc = self.sim.process(
+                self._background_bmos(thread_id, line_addr, data,
+                                      critical, wait_for=previous),
+                name="ideal-bg")
+            self._ideal_line_chains[line_addr] = proc
+            self.stats.histogram("critical_write_ns").observe(
+                self.sim.now - start)
+            self._trace(thread_id, line_addr, start, mc_arrival,
+                        mc_arrival, self.sim.now, critical)
+            return
+
+        ctx = yield from self._run_bmos(thread_id, line_addr, data)
+        bmo_done = self.sim.now
+        yield from self._persist(ctx, critical)
+        self.stats.histogram("critical_write_ns").observe(
+            self.sim.now - start)
+        self._trace(thread_id, line_addr, start, mc_arrival, bmo_done,
+                    self.sim.now, critical)
+
+    def _trace(self, thread_id, line_addr, start, mc_arrival,
+               bmo_done, persisted, critical) -> None:
+        if self.tracer is None:
+            return
+        from repro.harness.trace import WriteRecord
+        self.tracer.add(WriteRecord(
+            thread_id=thread_id, line_addr=line_addr, start_ns=start,
+            mc_arrival_ns=mc_arrival, bmo_done_ns=bmo_done,
+            persisted_ns=persisted, critical=critical))
+
+    def _run_bmos(self, thread_id: int, line_addr: int, data: bytes):
+        system = self.system
+        mode = self.cfg.mode
+        if mode == "serialized":
+            ctx = system.pipeline.make_context(addr=line_addr, data=data)
+            yield from system.executor.run_serialized(ctx)
+        elif mode == "parallel":
+            ctx = system.pipeline.make_context(addr=line_addr, data=data)
+            yield from system.executor.run_subops(ctx)
+        elif mode == "janus":
+            ctx, _fully = yield from system.janus.service_write(
+                thread_id, line_addr, data)
+        else:  # pragma: no cover - validated by SystemConfig
+            raise SimulationError(f"unknown mode {mode!r}")
+        return ctx
+
+    def _background_bmos(self, thread_id: int, line_addr: int,
+                         data: bytes, critical: bool, wait_for=None):
+        """Ideal mode: same work, off the critical path."""
+        if wait_for is not None and not wait_for.triggered:
+            yield wait_for
+        ctx = self.system.pipeline.make_context(addr=line_addr, data=data)
+        yield from self.system.executor.run_subops(ctx)
+        yield from self._persist(ctx, critical)
+
+    def _persist(self, ctx, critical: bool):
+        """Commit BMO state and enter the persist domain."""
+        system = self.system
+        # Refresh any staleness that crept in while queued (janus mode
+        # already guarantees freshness; serialized/parallel contexts
+        # executed just now, but concurrent cores may interleave).
+        stale = system.pipeline.stale_subops(ctx)
+        while stale:
+            system.pipeline.invalidate(ctx, stale)
+            yield from system.executor.run_subops(ctx)
+            stale = system.pipeline.stale_subops(ctx)
+        action = system.pipeline.commit(ctx)
+
+        accepts = []
+        if action.write_data:
+            entry = WriteEntry(
+                addr=action.device_addr, data=action.payload,
+                on_drain=self._drain_to_nvm)
+            accepts.append(self.sim.process(
+                system.write_queue.accept(entry), name="accept-data"))
+        else:
+            self.stats.counter("writes_cancelled_by_dedup").add()
+        for i in range(action.metadata_lines):
+            wait_for_meta = critical or \
+                not self.cfg.selective_metadata_atomicity
+            if not wait_for_meta:
+                # The counter/Merkle caches absorb non-critical
+                # metadata updates; they reach the device lazily on
+                # eviction, off both the critical path and the write
+                # queue (selective counter-atomicity, §4.3).
+                self.stats.counter("metadata_lazy").add()
+                continue
+            meta_addr = self._metadata_line_for(ctx.addr, i)
+            meta_entry = WriteEntry(addr=meta_addr,
+                                    data=bytes(CACHE_LINE_BYTES),
+                                    metadata={"kind": "metadata"})
+            proc = self.sim.process(system.write_queue.accept(meta_entry),
+                                    name="accept-meta")
+            accepts.append(proc)
+            self.stats.counter("metadata_atomic_waits").add()
+        if accepts:
+            yield self.sim.all_of(accepts)
+        self.stats.counter("writes_persisted").add()
+
+    def _metadata_line_for(self, addr: int, index: int) -> int:
+        line = (addr // CACHE_LINE_BYTES + index) % \
+            self.METADATA_REGION_LINES
+        return self._metadata_base + line * CACHE_LINE_BYTES
+
+    def _drain_to_nvm(self, entry: WriteEntry) -> None:
+        self.system.nvm.write_line(entry.addr, entry.data)
+
+
+class Core:
+    """One hardware thread: the API workload programs run against."""
+
+    def __init__(self, system: "NvmSystem", core_id: int):
+        self.system = system
+        self.sim = system.sim
+        self.cfg = system.cfg
+        self.core_id = core_id
+        self.cache = CacheModel(self.cfg.cache,
+                                memory_read_ns=self.cfg.memory.read_service_ns)
+        self._outstanding: List = []
+        self.current_txn_id = 0
+        self.api = JanusInterface(
+            self.sim,
+            system.janus if self.cfg.mode == "janus" else None,
+            thread_id=core_id,
+            transaction_id_provider=lambda: self.current_txn_id,
+            issue_cost_ns=2 * self.cfg.core.instruction_ns * 4)
+        self.stats = StatSet(f"core{core_id}")
+
+    # -- compute ---------------------------------------------------------
+    def compute(self, instructions: int):
+        """Charge ``instructions`` of core-local work."""
+        yield self.sim.timeout(
+            instructions * self.cfg.core.instruction_ns)
+
+    def _access_latency(self, addr: int, size: int,
+                        is_read: bool = False) -> float:
+        """Latency of touching [addr, addr+size) through the caches.
+
+        The first line pays the full hierarchy latency; subsequent
+        lines of the same (sequential) access stream behind the
+        prefetcher at ``stream_line_ns`` per line.  Read misses that
+        reach the device also pay the decryption penalty, moderated
+        by the memory controller's counter cache.
+        """
+        stream_ns = self.cfg.core.stream_line_ns
+        controller = self.system.controller
+        latency = 0.0
+        for index, line in enumerate(line_span(addr, size)):
+            cost, level = self.cache.access_with_level(line)
+            streamed = index > 0
+            latency += min(cost, stream_ns) if streamed else cost
+            if is_read and level == "mem":
+                latency += controller.read_decrypt_penalty_ns(
+                    line, streamed=streamed)
+        return latency
+
+    # -- loads / stores -----------------------------------------------------
+    def read(self, addr: int, size: int):
+        """Process: load ``size`` bytes; returns them."""
+        yield self.sim.timeout(self._access_latency(addr, size,
+                                                    is_read=True))
+        self.stats.counter("reads").add()
+        return self.system.volatile.read(addr, size)
+
+    def store(self, addr: int, data: bytes):
+        """Process: store ``data``; volatile until written back."""
+        yield self.sim.timeout(self._access_latency(addr, len(data)))
+        self.system.volatile.write(addr, data)
+        self.stats.counter("stores").add()
+
+    # -- persistence primitives ----------------------------------------------
+    def clwb(self, addr: int, size: int, critical: bool = False):
+        """Issue writebacks for every line of [addr, addr+size).
+
+        Non-blocking (like the instruction): completion is observed by
+        the next :meth:`sfence`.
+        """
+        for line in line_span(addr, size):
+            proc = self.sim.process(
+                self.system.controller.writeback(
+                    self.core_id, line, critical=critical),
+                name=f"clwb:{line:#x}")
+            self._outstanding.append(proc)
+            self.stats.counter("clwbs").add()
+        yield self.sim.timeout(self.cfg.core.instruction_ns)
+
+    def sfence(self):
+        """Block until every outstanding writeback is persistent."""
+        pending, self._outstanding = self._outstanding, []
+        if pending:
+            yield self.sim.all_of(pending)
+        self.stats.counter("fences").add()
+
+    def persist(self, addr: int, size: int, critical: bool = False):
+        """clwb + sfence convenience."""
+        yield from self.clwb(addr, size, critical=critical)
+        yield from self.sfence()
+
+
+class NvmSystem:
+    """The whole machine for one simulation run."""
+
+    def __init__(self, config: SystemConfig):
+        self.cfg = config.validate()
+        self.sim = Simulator()
+        self.rng = DeterministicRng(config.seed)
+        capacity = config.memory.capacity_bytes
+        self.nvm = FunctionalMemory(capacity)
+        self.volatile = VolatileView(capacity)
+        self.device = NvmDevice(self.sim, config.memory)
+        self.write_queue = WriteQueue(self.sim, config.memory, self.device)
+
+        # Carve the NVM address space: heap | dedup shadow | metadata.
+        shadow_lines = 1 << 14
+        metadata_lines = MemoryController.METADATA_REGION_LINES
+        shadow_base = capacity - (metadata_lines + shadow_lines) \
+            * CACHE_LINE_BYTES
+        heap_limit = shadow_base
+        dedup_table = DedupTable(shadow_base=shadow_base,
+                                 shadow_lines=shadow_lines)
+        self.pipeline = build_pipeline(
+            config, dedup_table=dedup_table,
+            nvm_copy_line=self._copy_nvm_line)
+
+        units = config.janus.scaled("bmo_units") * config.cores
+        if config.janus.unlimited_resources:
+            units = 1 << 16
+        self.bmo_units = Resource(self.sim, capacity=units,
+                                  name="bmo-units")
+        self.executor = BmoExecutor(
+            self.sim, self.pipeline, self.bmo_units,
+            pipeline_fraction=config.bmo_unit_pipeline_fraction)
+        self.janus: Optional[JanusEngine] = None
+        if config.mode == "janus":
+            self.janus = JanusEngine(self.sim, self.pipeline,
+                                     self.executor, config.janus,
+                                     cores=config.cores)
+        self.controller = MemoryController(self)
+        self.heap = NvmHeap(base=CACHE_LINE_BYTES,
+                            size=heap_limit - CACHE_LINE_BYTES)
+        self.cores = [Core(self, i) for i in range(config.cores)]
+        self.stats = StatSet("system")
+
+    def _copy_nvm_line(self, src: int, dst: int) -> None:
+        """Dedup relocation: move ciphertext between device lines."""
+        self.nvm.write_line(dst, self.nvm.read_line(src))
+
+    # -- running -------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until=until)
+
+    def run_programs(self, programs) -> float:
+        """Run one generator program per core to completion.
+
+        ``programs`` maps core index -> generator (or a list in core
+        order).  Returns the simulation time when all complete.
+        """
+        if isinstance(programs, dict):
+            items = programs.items()
+        else:
+            items = enumerate(programs)
+        procs = []
+        for core_id, gen in items:
+            if core_id >= len(self.cores):
+                raise SimulationError(
+                    f"program for core {core_id} but system has "
+                    f"{len(self.cores)} cores")
+            procs.append(self.sim.process(gen, name=f"program{core_id}"))
+        all_done = self.sim.all_of(procs)
+        self.sim.run(stop_event=all_done)
+        elapsed = self.sim.now
+        # Drain background work (device writes, ideal-mode BMOs) so
+        # functional state is complete, without charging it to the
+        # measured program time — those operations are off the
+        # critical path by construction.
+        self.sim.run()
+        for proc in procs:
+            if proc._exc is not None:
+                raise proc._exc
+        if not all_done.triggered:
+            raise SimulationError(
+                "programs deadlocked: event heap drained with "
+                "programs still blocked")
+        return elapsed
+
+    # -- crash / recovery support ----------------------------------------------
+    def crash(self) -> dict:
+        """Simulate a power failure right now.
+
+        ADR drains the accepted write queue (that is its guarantee),
+        the volatile view is lost, and the persisted state (NVM image
+        + unreconstructable metadata, which commits at the persist
+        point) is returned for recovery.
+        """
+        # Accepted-but-undrained entries are in the ADR domain: the
+        # residual-energy flush completes their device writes.  The
+        # event loop does NOT run further — the cores stop dead.
+        self.write_queue.adr_flush()
+        snapshot = {
+            "nvm_lines": dict(self.nvm._lines),
+            "metadata": self.pipeline.unreconstructable_metadata(),
+        }
+        self.volatile = VolatileView(self.cfg.memory.capacity_bytes)
+        return snapshot
+
+    def describe(self) -> Dict[str, str]:
+        info = self.cfg.describe()
+        info["serial_bmo_ns"] = f"{self.pipeline.serial_latency():.0f}"
+        return info

@@ -1,0 +1,32 @@
+"""Cryptographic substrate used by the BMOs.
+
+All engines here are *functional* — they produce real ciphertext,
+fingerprints, and hash-tree roots over real bytes — while their
+*timing* is parameterised with the hardware latencies from Table 1 /
+Table 3 of the paper (40 ns AES-128, 40 ns SHA-1, 321 ns MD5, ~80 ns
+CRC-32).  The timing constants live in
+:class:`repro.common.config.BmoLatencies`; the classes here expose a
+``latency_ns`` per primitive so that the BMO sub-operations can charge
+simulated time while still manipulating genuine values (which is what
+lets the test suite assert decryptability, duplicate detection, and
+root evolution instead of trusting the model blindly).
+"""
+
+from repro.crypto.counter_mode import CounterModeEngine, EncryptedLine
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.primitives import (
+    FingerprintEngine,
+    derive_otp,
+    mac_of,
+    xor_bytes,
+)
+
+__all__ = [
+    "CounterModeEngine",
+    "EncryptedLine",
+    "FingerprintEngine",
+    "MerkleTree",
+    "derive_otp",
+    "mac_of",
+    "xor_bytes",
+]

@@ -1,0 +1,113 @@
+"""Counter-mode encryption engine for NVM lines.
+
+Every cache line has a monotonically-increasing counter; encrypting a
+line generates a fresh counter (sub-op E1), derives an OTP from the
+counter and the line address (E2), and XORs the OTP with the data
+(E3).  Decryption regenerates the same OTP from the stored counter —
+which is why the counter is *unreconstructable metadata* that must be
+persisted atomically with the data (paper §4.3, counter-atomicity).
+
+The engine exposes the three sub-operations separately because the
+Janus dependency graph schedules them individually: E1–E2 are
+address-dependent and can be pre-executed knowing only the address.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.common.errors import CryptoError
+from repro.common.units import CACHE_LINE_BYTES
+from repro.crypto.primitives import derive_otp, mac_of, xor_bytes
+
+
+@dataclass
+class EncryptedLine:
+    """Result of encrypting one cache line."""
+
+    addr: int
+    counter: int
+    ciphertext: bytes
+    mac: bytes
+
+
+class CounterModeEngine:
+    """Per-line counters plus OTP generation and XOR encryption."""
+
+    def __init__(self, key: bytes = b"janus-repro-key",
+                 line_bytes: int = CACHE_LINE_BYTES):
+        self.key = key
+        self.line_bytes = line_bytes
+        self._counters: Dict[int, int] = {}
+
+    # -- sub-operation E1 ---------------------------------------------
+    def next_counter(self, addr: int) -> int:
+        """Peek the counter a write to ``addr`` *would* use.
+
+        Pure function of current state — pre-execution uses this
+        without mutating the stored counter (requirement 1 of §3.2:
+        pre-execution must not change memory state).  The counter is
+        only advanced by :meth:`commit_counter` when the actual write
+        happens.
+        """
+        return self._counters.get(addr, 0) + 1
+
+    def commit_counter(self, addr: int, counter: int) -> None:
+        """Advance the stored counter when the real write completes."""
+        current = self._counters.get(addr, 0)
+        if counter <= current:
+            raise CryptoError(
+                f"counter for {addr:#x} must increase: {counter} <= {current}")
+        self._counters[addr] = counter
+
+    def current_counter(self, addr: int) -> int:
+        """The counter of the data currently stored at ``addr``."""
+        return self._counters.get(addr, 0)
+
+    # -- sub-operation E2 ---------------------------------------------
+    def make_otp(self, addr: int, counter: int) -> bytes:
+        """Generate the one-time pad for (addr, counter)."""
+        return derive_otp(self.key, counter, addr, self.line_bytes)
+
+    # -- sub-operation E3 ---------------------------------------------
+    def apply_pad(self, data: bytes, otp: bytes) -> bytes:
+        """XOR ``data`` with the pad (used for encrypt and decrypt)."""
+        if len(data) != self.line_bytes:
+            raise CryptoError(
+                f"line must be {self.line_bytes} bytes, got {len(data)}")
+        return xor_bytes(data, otp)
+
+    # -- whole-line convenience ----------------------------------------
+    def encrypt(self, addr: int, data: bytes,
+                counter: Optional[int] = None) -> EncryptedLine:
+        """Run E1–E4 functionally and return the encrypted line.
+
+        Does *not* commit the counter; callers decide when the write
+        actually lands.
+        """
+        if counter is None:
+            counter = self.next_counter(addr)
+        otp = self.make_otp(addr, counter)
+        ciphertext = self.apply_pad(data, otp)
+        return EncryptedLine(addr=addr, counter=counter,
+                             ciphertext=ciphertext,
+                             mac=mac_of(ciphertext, counter))
+
+    def decrypt(self, addr: int, ciphertext: bytes,
+                counter: Optional[int] = None) -> bytes:
+        """Decrypt a line using the stored (or supplied) counter."""
+        if counter is None:
+            counter = self.current_counter(addr)
+        otp = self.make_otp(addr, counter)
+        return self.apply_pad(ciphertext, otp)
+
+    def verify_mac(self, line: EncryptedLine) -> bool:
+        """Recompute and compare the MAC of an encrypted line."""
+        return mac_of(line.ciphertext, line.counter) == line.mac
+
+    def snapshot_counters(self) -> Dict[int, int]:
+        """Copy of the counter table (for crash/recovery tests)."""
+        return dict(self._counters)
+
+    def restore_counters(self, counters: Dict[int, int]) -> None:
+        """Overwrite the counter table (recovery path)."""
+        self._counters = dict(counters)

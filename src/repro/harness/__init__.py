@@ -1,0 +1,19 @@
+"""Experiment harness: run design points, compute speedups, and
+regenerate every table and figure of the paper's evaluation.
+
+The per-figure drivers in :mod:`repro.harness.experiments` return
+structured results *and* render the same rows/series the paper
+reports; the files under ``benchmarks/`` are thin pytest-benchmark
+wrappers around them.
+"""
+
+from repro.harness.report import Table, format_series
+from repro.harness.runner import ExperimentResult, run_point, speedup_over
+
+__all__ = [
+    "ExperimentResult",
+    "Table",
+    "format_series",
+    "run_point",
+    "speedup_over",
+]

@@ -1,0 +1,64 @@
+"""Plain-text tables and series for the figure reproductions."""
+
+from typing import Dict, List, Sequence
+
+
+class Table:
+    """A fixed-column ASCII table with a caption."""
+
+    def __init__(self, caption: str, columns: Sequence[str]):
+        self.caption = caption
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected "
+                f"{len(self.columns)}")
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(col) for col in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.caption]
+        header = " | ".join(col.ljust(widths[i])
+                            for i, col in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(cell.ljust(widths[i])
+                                    for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_series(name: str, points: Dict, unit: str = "x") -> str:
+    """One figure series as ``name: k1=v1 k2=v2 ...``."""
+    parts = [f"{key}={value:.2f}{unit}" if isinstance(value, float)
+             else f"{key}={value}{unit}"
+             for key, value in points.items()]
+    return f"{name}: " + "  ".join(parts)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

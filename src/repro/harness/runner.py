@@ -1,0 +1,85 @@
+"""Run one (workload, mode, variant, cores) design point."""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.config import SystemConfig, default_config
+from repro.core import NvmSystem
+from repro.workloads import WorkloadParams, make_workload
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one simulated run."""
+
+    workload: str
+    mode: str
+    variant: str
+    cores: int
+    elapsed_ns: float
+    transactions: int
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ns_per_transaction(self) -> float:
+        return self.elapsed_ns / self.transactions \
+            if self.transactions else float("inf")
+
+
+def run_point(workload: str,
+              mode: str = "serialized",
+              variant: Optional[str] = None,
+              cores: int = 1,
+              params: Optional[WorkloadParams] = None,
+              config: Optional[SystemConfig] = None,
+              **config_overrides) -> ExperimentResult:
+    """Simulate one design point and return its result.
+
+    ``variant`` defaults to ``baseline`` for non-Janus modes and
+    ``manual`` for Janus mode (the paper's main configuration).
+    """
+    if variant is None:
+        variant = "manual" if mode == "janus" else "baseline"
+    cfg = config if config is not None else default_config()
+    cfg = cfg.replace(mode=mode, cores=cores, **config_overrides)
+    cfg.validate()
+    system = NvmSystem(cfg)
+    params = params or WorkloadParams()
+    workloads = [
+        make_workload(workload, system, core, params, variant=variant)
+        for core in system.cores
+    ]
+    elapsed = system.run_programs([w.run() for w in workloads])
+    transactions = sum(w.completed_transactions for w in workloads)
+
+    stats: Dict[str, float] = {}
+    stats.update({f"mc.{k}": v for k, v
+                  in system.controller.stats.as_dict().items()})
+    if system.janus is not None:
+        stats.update({f"janus.{k}": v for k, v
+                      in system.janus.stats.as_dict().items()})
+        stats.update({f"irb.{k}": v for k, v
+                      in system.janus.irb.stats.as_dict().items()})
+    dedup = system.pipeline.by_name.get("dedup")
+    if dedup is not None:
+        stats["dedup.observed_ratio"] = dedup.observed_ratio()
+    return ExperimentResult(
+        workload=workload, mode=mode, variant=variant, cores=cores,
+        elapsed_ns=elapsed, transactions=transactions, stats=stats)
+
+
+def speedup_over(baseline: ExperimentResult,
+                 candidate: ExperimentResult) -> float:
+    """Speedup of ``candidate`` relative to ``baseline`` (same work)."""
+    if candidate.elapsed_ns <= 0:
+        return float("inf")
+    return baseline.elapsed_ns / candidate.elapsed_ns
+
+
+def fully_pre_executed_fraction(result: ExperimentResult) -> float:
+    """Fraction of writes whose BMOs were completely pre-executed
+    (the paper reports 45.13% on average, §5.2.2)."""
+    full = result.stats.get("janus.fully_pre_executed", 0)
+    partial = result.stats.get("janus.partially_pre_executed", 0)
+    total = full + partial
+    return full / total if total else 0.0

@@ -1,0 +1,152 @@
+"""The Janus software interface (paper Table 2).
+
+``JanusInterface`` is what workload code calls.  Each function is a
+simulator-process fragment (use ``yield from``): it charges a small
+core-side issue cost and hands a :class:`PreExecRequest` to the
+engine.  When the interface is disabled (serialized / parallel /
+ideal modes run the *uninstrumented* program), every call is a free
+no-op, so the same workload source drives every design point.
+
+Functions:
+
+==================  =====================================================
+``PRE_INIT``        initialise a ``pre_obj`` with unique PRE_ID and the
+                    current thread/transaction IDs
+``PRE_BOTH``        pre-execute all sub-operations (addr + data known)
+``PRE_ADDR``        pre-execute address-dependent sub-operations
+``PRE_DATA``        pre-execute data-dependent sub-operations
+``PRE_BOTH_VAL``    integer-value flavour for commit flags/pointers
+``PRE_*_BUF``       deferred: buffer the request for coalescing
+``PRE_START_BUF``   release the buffered requests of a ``pre_obj``
+==================  =====================================================
+"""
+
+import itertools
+from typing import Callable, Optional
+
+from repro.janus.engine import JanusEngine
+from repro.janus.queues import PreExecRequest, PreFunc
+from repro.sim import Simulator
+
+_PRE_ID_COUNTER = itertools.count(1)
+
+
+class PreObj:
+    """Software handle identifying a group of pre-execution requests."""
+
+    __slots__ = ("pre_id", "thread_id", "transaction_id")
+
+    def __init__(self) -> None:
+        self.pre_id = 0
+        self.thread_id = 0
+        self.transaction_id = 0
+
+    def __repr__(self) -> str:
+        return (f"PreObj(pre={self.pre_id}, thread={self.thread_id}, "
+                f"txn={self.transaction_id})")
+
+
+class JanusInterface:
+    """Per-thread binding of the Table 2 functions to the engine."""
+
+    def __init__(self, sim: Simulator, engine: Optional[JanusEngine],
+                 thread_id: int,
+                 transaction_id_provider: Callable[[], int] = lambda: 0,
+                 issue_cost_ns: float = 2.0):
+        self.sim = sim
+        self.engine = engine
+        self.thread_id = thread_id
+        self._txn_id = transaction_id_provider
+        self.issue_cost_ns = issue_cost_ns
+        self.calls = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.engine is not None
+
+    # -- common ------------------------------------------------------------
+    def pre_init(self, obj: Optional[PreObj] = None) -> PreObj:
+        """PRE_INIT: assign a unique PRE_ID plus thread/txn IDs."""
+        obj = obj or PreObj()
+        obj.pre_id = next(_PRE_ID_COUNTER)
+        obj.thread_id = self.thread_id
+        obj.transaction_id = self._txn_id()
+        return obj
+
+    def _issue(self, obj: PreObj, func: PreFunc, addr, data, size,
+               deferred: bool):
+        if not self.enabled:
+            return
+        self.calls += 1
+        yield self.sim.timeout(self.issue_cost_ns)
+        self.engine.submit(PreExecRequest(
+            pre_id=obj.pre_id, thread_id=obj.thread_id,
+            transaction_id=obj.transaction_id, func=func,
+            addr=addr, data=bytes(data) if data is not None else None,
+            size=size, deferred=deferred))
+
+    # -- immediate execution ---------------------------------------------
+    def pre_both(self, obj: PreObj, addr: int, data: bytes,
+                 size: Optional[int] = None):
+        """PRE_BOTH: pre-execute everything for [addr, addr+size)."""
+        yield from self._issue(obj, PreFunc.BOTH, addr, data,
+                               size if size is not None else len(data),
+                               deferred=False)
+
+    def pre_addr(self, obj: PreObj, addr: int, size: int):
+        """PRE_ADDR: pre-execute address-dependent sub-operations."""
+        yield from self._issue(obj, PreFunc.ADDR, addr, None, size,
+                               deferred=False)
+
+    def pre_data(self, obj: PreObj, data: bytes):
+        """PRE_DATA: pre-execute data-dependent sub-operations.
+
+        The data block must be cache-line-aligned (§4.4 guideline 2);
+        the decoder enforces this by only acting on whole-line chunks.
+        """
+        yield from self._issue(obj, PreFunc.DATA, None, data, len(data),
+                               deferred=False)
+
+    def pre_both_val(self, obj: PreObj, addr: int, value: int,
+                     line_image: Optional[bytes] = None):
+        """PRE_BOTH_VAL: integer-valued variant for commit records.
+
+        ``line_image``, when given, is the full 64-byte image the line
+        will hold (commit records in the workloads are line-sized, so
+        the image is statically known); otherwise only the address
+        part is usable.
+        """
+        data = line_image
+        if data is None:
+            data = value.to_bytes(8, "little", signed=True)
+        yield from self._issue(obj, PreFunc.BOTH_VAL, addr, data,
+                               len(data), deferred=False)
+
+    # -- deferred execution --------------------------------------------------
+    def pre_both_buf(self, obj: PreObj, addr: int, data: bytes,
+                     size: Optional[int] = None):
+        """PRE_BOTH_BUF: buffer for coalescing; run at PRE_START_BUF."""
+        yield from self._issue(obj, PreFunc.BOTH, addr, data,
+                               size if size is not None else len(data),
+                               deferred=True)
+
+    def pre_addr_buf(self, obj: PreObj, addr: int, size: int):
+        yield from self._issue(obj, PreFunc.ADDR, addr, None, size,
+                               deferred=True)
+
+    def pre_data_buf(self, obj: PreObj, data: bytes):
+        yield from self._issue(obj, PreFunc.DATA, None, data, len(data),
+                               deferred=True)
+
+    def pre_start_buf(self, obj: PreObj):
+        """PRE_START_BUF: release this object's buffered requests."""
+        if not self.enabled:
+            return
+        yield self.sim.timeout(self.issue_cost_ns)
+        self.engine.start_buffered(obj.pre_id, self.thread_id)
+
+    # -- lifecycle -----------------------------------------------------------
+    def thread_exit(self) -> None:
+        """Clear this thread's IRB entries (§4.6)."""
+        if self.enabled:
+            self.engine.clear_thread(self.thread_id)

@@ -1,0 +1,195 @@
+"""The Intermediate Result Buffer (IRB).
+
+The IRB lives in the memory controller and holds the outputs of
+pre-executed sub-operations, keyed by ``(ThreadID, PRE_ID,
+TransactionID)`` and the physical line address (paper Fig. 7c).  Its
+contract (§3.2, §4.3.1):
+
+1. pre-execution results never touch processor/memory state — they
+   stay in IRB entries (here: a :class:`repro.bmo.base.BmoContext`);
+2. stale results are detected and invalidated — via the stored data
+   copy (compared against the arriving write) and via metadata-change
+   notifications from the BMOs;
+3. bounded capacity: newer insertions are dropped when full (§4.3.2);
+4. entries age out, and a terminating thread's entries are cleared
+   (§4.6).
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bmo.base import BmoContext
+from repro.sim import Simulator
+from repro.sim.stats import StatSet
+
+
+@dataclass
+class IrbEntry:
+    """One line-granularity pre-execution result."""
+
+    pre_id: int
+    thread_id: int
+    transaction_id: int
+    line_addr: Optional[int]
+    #: Copy of the data used for pre-execution (None for addr-only).
+    data: Optional[bytes]
+    ctx: BmoContext = field(default_factory=BmoContext)
+    created_at: float = 0.0
+    #: Complete bit: all sub-ops runnable with the entry's inputs done.
+    complete: bool = False
+    #: Event that fires when in-flight pre-execution finishes.
+    inflight = None
+    #: For address-less data entries: ordinal within the request.
+    data_seq: int = 0
+
+    def key(self) -> Tuple[int, int, int]:
+        return (self.thread_id, self.pre_id, self.transaction_id)
+
+
+class IntermediateResultBuffer:
+    """Bounded buffer of :class:`IrbEntry` with invalidation logic."""
+
+    def __init__(self, sim: Simulator, capacity: int,
+                 max_age_ns: float = 1_000_000.0):
+        self.sim = sim
+        self.capacity = capacity
+        self.max_age_ns = max_age_ns
+        self._entries: List[IrbEntry] = []
+        self.stats = StatSet("irb")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- insertion ------------------------------------------------------
+    def insert(self, entry: IrbEntry) -> bool:
+        """Add an entry; returns False (dropped) when full.
+
+        An entry with the same key and line address *merges* instead —
+        that is how a ``PRE_ADDR`` and a ``PRE_DATA`` of the same
+        ``pre_obj`` combine their results.
+        """
+        self._expire_old()
+        existing = self._find_mergeable(entry)
+        if existing is not None:
+            self._merge(existing, entry)
+            self.stats.counter("merged").add()
+            return True
+        if len(self._entries) >= self.capacity:
+            self.stats.counter("dropped_full").add()
+            return False
+        entry.created_at = self.sim.now
+        self._entries.append(entry)
+        self.stats.counter("inserted").add()
+        return True
+
+    def _find_mergeable(self, entry: IrbEntry) -> Optional[IrbEntry]:
+        for existing in self._entries:
+            if existing.key() != entry.key():
+                continue
+            if (existing.line_addr is not None
+                    and entry.line_addr is not None):
+                if existing.line_addr == entry.line_addr:
+                    return existing
+                continue
+            # One side lacks an address: pair by data ordinal.
+            if existing.data_seq == entry.data_seq:
+                return existing
+        return None
+
+    @staticmethod
+    def _merge(existing: IrbEntry, incoming: IrbEntry) -> None:
+        existing.ctx.merge_from(incoming.ctx)
+        if existing.line_addr is None:
+            existing.line_addr = incoming.line_addr
+        if existing.data is None:
+            existing.data = incoming.data
+        existing.complete = False  # more work may now be runnable
+
+    # -- lookup by the arriving write -------------------------------------
+    def match_write(self, thread_id: int, line_addr: int,
+                    data: bytes) -> Optional[IrbEntry]:
+        """Find the pre-execution result for an arriving write access.
+
+        Primary key is the physical line address (paper step 5); an
+        address-less data-only entry of the same thread matches by
+        byte comparison.  Most-recently-created entry wins.
+        """
+        self._expire_old()
+        best: Optional[IrbEntry] = None
+        for entry in self._entries:
+            if entry.thread_id != thread_id:
+                continue
+            if entry.line_addr is not None:
+                if entry.line_addr == line_addr:
+                    if best is None or entry.created_at >= best.created_at:
+                        best = entry
+            elif entry.data is not None and entry.data == data:
+                if best is None:
+                    best = entry
+        if best is not None:
+            self.stats.counter("hits").add()
+        else:
+            self.stats.counter("misses").add()
+        return best
+
+    def consume(self, entry: IrbEntry) -> None:
+        """Remove an entry whose results were used by a write."""
+        try:
+            self._entries.remove(entry)
+            self.stats.counter("consumed").add()
+        except ValueError:
+            pass
+
+    # -- invalidation ------------------------------------------------------
+    def invalidate_where(self, predicate: Callable[[IrbEntry], bool],
+                         reason: str = "predicate") -> int:
+        """Drop entries matching ``predicate``; returns the count."""
+        victims = [e for e in self._entries if predicate(e)]
+        for victim in victims:
+            self._entries.remove(victim)
+        if victims:
+            self.stats.counter(f"invalidated_{reason}").add(len(victims))
+        return len(victims)
+
+    def invalidate_line(self, line_addr: int) -> int:
+        """A store to ``line_addr`` happened outside this entry's
+        write (cache-line sharing / buggy program, §4.3.1 cause 1)."""
+        return self.invalidate_where(
+            lambda e: e.line_addr == line_addr, reason="line")
+
+    def invalidate_range(self, lo: int, hi: int) -> int:
+        """Memory swap: clear entries in the swapped range (§4.6)."""
+        return self.invalidate_where(
+            lambda e: e.line_addr is not None and lo <= e.line_addr < hi,
+            reason="swap")
+
+    def clear_thread(self, thread_id: int) -> int:
+        """Thread termination clears its entries (§4.6)."""
+        return self.invalidate_where(
+            lambda e: e.thread_id == thread_id, reason="thread_exit")
+
+    def on_metadata_change(self, bmo_name: str, details: dict) -> None:
+        """Invalidation hook the BMOs call when shared metadata moves
+        (§4.3.1 cause 2 — e.g. a deduplicated source value changed)."""
+        fingerprint = details.get("fingerprint")
+        if fingerprint is None:
+            return
+        self.invalidate_where(
+            lambda e: e.ctx.values.get("fingerprint") == fingerprint
+            or (e.ctx.values.get("is_dup")
+                and e.ctx.values.get("fingerprint") == fingerprint),
+            reason="metadata")
+
+    # -- aging ----------------------------------------------------------------
+    def _expire_old(self) -> None:
+        if self.max_age_ns is None:
+            return
+        cutoff = self.sim.now - self.max_age_ns
+        expired = [e for e in self._entries if e.created_at < cutoff]
+        for entry in expired:
+            self._entries.remove(entry)
+        if expired:
+            self.stats.counter("expired").add(len(expired))
+
+    def entries(self) -> List[IrbEntry]:
+        return list(self._entries)

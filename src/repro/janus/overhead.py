@@ -1,0 +1,118 @@
+"""Hardware overhead accounting (paper §5.2.7).
+
+Reproduces the storage arithmetic of the paper from the entry layouts
+of Fig. 7b/7c:
+
+* pre-execution request queue entry — PRE_ID 16 b + ThreadID 16 b +
+  TransactionID 16 b + ProcAddr 42 b + Size 32 b + Func 3 b
+  (≈ 119 bits, quoted minus the inline value field);
+* pre-execution operation queue entry — ≈ 103 bits;
+* IRB entry — identification fields + ProcAddr + 512 b data copy +
+  576 b intermediate results + complete bit = 1179 bits ≈ 148 B.
+
+With the Table 3 entry counts (16 / 64 / 64) the IRB alone is 9.25 KB
+(the figure quoted in the paper's prose) and everything together is
+~0.5% of the 2 MB LLC.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.config import JanusConfig
+
+
+#: Field widths in bits (paper Fig. 7b/7c).
+REQUEST_QUEUE_FIELDS: Dict[str, int] = {
+    "PRE_ID": 16,
+    "ThreadID": 16,
+    "TransactionID": 16,
+    "ProcAddr": 42,
+    "Size": 26,
+    "Func": 3,
+}
+
+OPERATION_QUEUE_FIELDS: Dict[str, int] = {
+    "PRE_ID": 16,
+    "ThreadID": 16,
+    "TransactionID": 16,
+    "ProcAddr": 42,
+    "Seq": 10,
+    "Flags": 3,
+}
+
+IRB_FIELDS: Dict[str, int] = {
+    "PRE_ID": 16,
+    "ThreadID": 16,
+    "TransactionID": 16,
+    "ProcAddr": 42,
+    "Data": 512,
+    "IntermediateResults": 576,
+    "Complete": 1,
+}
+
+#: Gate count of the 4-wide BMO units (paper cites Satoh et al. for
+#: AES/SHA cores) and the resulting die area at 14 nm.
+BMO_UNIT_GATES = 300_000
+BMO_UNIT_AREA_MM2 = 0.065
+
+LLC_BYTES = 2 * 1024 * 1024
+
+
+@dataclass
+class OverheadReport:
+    request_entry_bits: int
+    operation_entry_bits: int
+    irb_entry_bits: int
+    request_queue_bytes: float
+    operation_queue_bytes: float
+    irb_bytes: float
+    total_bytes: float
+    irb_kib: float
+    total_kib: float
+    fraction_of_llc: float
+    bmo_gates: int
+    bmo_area_mm2: float
+
+    def lines(self) -> list:
+        return [
+            f"request-queue entry : {self.request_entry_bits} bits",
+            f"operation-queue entry: {self.operation_entry_bits} bits",
+            f"IRB entry           : {self.irb_entry_bits} bits "
+            f"({self.irb_entry_bits / 8:.0f} B)",
+            f"request queue       : {self.request_queue_bytes:.0f} B",
+            f"operation queue     : {self.operation_queue_bytes:.0f} B",
+            f"IRB                 : {self.irb_bytes:.0f} B "
+            f"({self.irb_kib:.2f} KiB)",
+            f"total               : {self.total_bytes:.0f} B "
+            f"({self.total_kib:.2f} KiB)",
+            f"fraction of 2MB LLC : {self.fraction_of_llc * 100:.2f}%",
+            f"BMO units           : {self.bmo_gates} gates, "
+            f"{self.bmo_area_mm2} mm^2 @14nm",
+        ]
+
+
+def hardware_overhead_report(config: JanusConfig = None) -> OverheadReport:
+    """Compute the §5.2.7 numbers for a Janus configuration."""
+    cfg = config or JanusConfig()
+    request_bits = sum(REQUEST_QUEUE_FIELDS.values())
+    operation_bits = sum(OPERATION_QUEUE_FIELDS.values())
+    irb_bits = sum(IRB_FIELDS.values())
+    request_bytes = cfg.scaled("request_queue_entries") * request_bits / 8
+    operation_bytes = (cfg.scaled("operation_queue_entries")
+                       * operation_bits / 8)
+    irb_bytes = cfg.scaled("irb_entries") * irb_bits / 8
+    total = request_bytes + operation_bytes + irb_bytes
+    return OverheadReport(
+        request_entry_bits=request_bits,
+        operation_entry_bits=operation_bits,
+        irb_entry_bits=irb_bits,
+        request_queue_bytes=request_bytes,
+        operation_queue_bytes=operation_bytes,
+        irb_bytes=irb_bytes,
+        total_bytes=total,
+        irb_kib=irb_bytes / 1024,
+        total_kib=total / 1024,
+        fraction_of_llc=total / LLC_BYTES,
+        bmo_gates=BMO_UNIT_GATES,
+        bmo_area_mm2=BMO_UNIT_AREA_MM2,
+    )

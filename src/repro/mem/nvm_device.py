@@ -1,0 +1,73 @@
+"""NVM device timing: channels as queuing servers.
+
+A channel is busy for ``read_service_ns`` / ``write_service_ns`` per
+64 B access (PCM-class timings; Table 3 uses a 533 MHz PCM with long
+tWR).  With several cores issuing traffic the channel queue grows and
+memory latency inflates — the contention that makes Janus's relative
+benefit shrink at 8 cores (paper §5.2.1, trend 1).
+"""
+
+from typing import Dict
+
+from repro.common.config import MemoryConfig
+from repro.sim import Resource, Simulator
+
+
+class NvmDevice:
+    """Channel-level timing model in front of the functional memory.
+
+    Besides timing, the device keeps per-line write counts — the raw
+    material of the endurance problem wear-leveling exists to solve
+    (Table 1).  ``wear_statistics`` summarises the distribution so
+    tests and benches can show Start-Gap flattening it.
+    """
+
+    def __init__(self, sim: Simulator, config: MemoryConfig):
+        self.sim = sim
+        self.cfg = config
+        self._channels = [
+            Resource(sim, capacity=1, name=f"nvm-ch{i}")
+            for i in range(config.channels)
+        ]
+        self.reads = 0
+        self.writes = 0
+        #: line address -> number of device writes (cell wear).
+        self.write_counts: Dict[int, int] = {}
+
+    def _channel_for(self, addr: int) -> Resource:
+        index = (addr // 64) % len(self._channels)
+        return self._channels[index]
+
+    def read_access(self, addr: int):
+        """Process: occupy the channel for one line read."""
+        self.reads += 1
+        yield from self._channel_for(addr).use(self.cfg.read_service_ns)
+
+    def write_access(self, addr: int):
+        """Process: occupy the channel for one line write."""
+        self.writes += 1
+        self.write_counts[addr] = self.write_counts.get(addr, 0) + 1
+        yield from self._channel_for(addr).use(self.cfg.write_service_ns)
+
+    def wear_statistics(self) -> Dict[str, float]:
+        """Summary of the per-line wear distribution."""
+        if not self.write_counts:
+            return {"lines": 0, "max": 0, "mean": 0.0, "imbalance": 0.0}
+        counts = list(self.write_counts.values())
+        mean = sum(counts) / len(counts)
+        worst = max(counts)
+        return {
+            "lines": len(counts),
+            "max": worst,
+            "mean": mean,
+            # max/mean: 1.0 is perfectly even wear; the hot-spot
+            # factor wear-leveling is meant to pull down.
+            "imbalance": worst / mean if mean else 0.0,
+        }
+
+    def utilisation(self) -> float:
+        """Mean utilisation across channels."""
+        if not self._channels:
+            return 0.0
+        return sum(c.utilisation() for c in self._channels) \
+            / len(self._channels)

@@ -1,0 +1,31 @@
+"""A small discrete-event simulation kernel (simpy-flavoured).
+
+The simulator models time in nanoseconds.  Concurrent activities are
+Python generators ("processes") that yield *waitables*:
+
+* :class:`Timeout` — resume after a fixed delay,
+* :class:`SimEvent` — resume when someone calls :meth:`SimEvent.succeed`,
+* :class:`Process` — resume when another process finishes,
+* :class:`AllOf` — resume when every child waitable has fired.
+
+Shared hardware (memory channels, BMO units) is modelled with
+:class:`Resource` (capacity-limited FIFO server) and :class:`Store`
+(FIFO queue of items).
+"""
+
+from repro.sim.engine import AllOf, Process, SimEvent, Simulator, Timeout
+from repro.sim.resources import Resource, Store
+from repro.sim.stats import Counter, Histogram, StatSet
+
+__all__ = [
+    "AllOf",
+    "Counter",
+    "Histogram",
+    "Process",
+    "Resource",
+    "SimEvent",
+    "Simulator",
+    "StatSet",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,209 @@
+"""Core event loop, events, and processes."""
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.common.errors import SimulationError
+
+
+class SimEvent:
+    """A one-shot event that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or
+    :meth:`fail`) triggers it exactly once, resuming every waiter at
+    the current simulation time.
+    """
+
+    __slots__ = ("sim", "_callbacks", "triggered", "value", "_exc", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._callbacks: List[Callable[["SimEvent"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+        self._exc: Optional[BaseException] = None
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Trigger the event, delivering ``value`` to all waiters."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self.triggered = True
+        self.value = value
+        self.sim._schedule_now(self._dispatch)
+        return self
+
+    def fail(self, exc: BaseException) -> "SimEvent":
+        """Trigger the event such that waiters see ``exc`` raised."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self.triggered = True
+        self._exc = exc
+        self.sim._schedule_now(self._dispatch)
+        return self
+
+    def add_callback(self, fn: Callable[["SimEvent"], None]) -> None:
+        if self.triggered and not self._callbacks:
+            # Already dispatched (or dispatching): call on next tick so
+            # late waiters still resume.
+            self.sim._schedule_now(lambda: fn(self))
+        else:
+            self._callbacks.append(fn)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<SimEvent {self.name!r} {state}>"
+
+
+class Timeout(SimEvent):
+    """An event that triggers itself after ``delay`` nanoseconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        sim._schedule(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.triggered = True
+        self.value = value
+        self._dispatch()
+
+
+class AllOf(SimEvent):
+    """Triggers after every child event has triggered.
+
+    The value is the list of child values in the given order.  If any
+    child *failed*, the AllOf fails with that child's exception —
+    waiting on a group must never swallow a member's error.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[SimEvent]):
+        super().__init__(sim, name="all_of")
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._child_done)
+
+    def _child_done(self, event: SimEvent) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class Process(SimEvent):
+    """Runs a generator as a concurrent activity.
+
+    The process itself is an event that triggers with the generator's
+    return value, so processes can wait on each other.
+    """
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, sim: "Simulator",
+                 gen: Generator[SimEvent, Any, Any], name: str = ""):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "proc"))
+        self._gen = gen
+        sim._schedule_now(lambda: self._step(None, None))
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        try:
+            if exc is not None:
+                target = self._gen.throw(exc)
+            else:
+                target = self._gen.send(value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as err:
+            if not self.triggered:
+                self.fail(err)
+                return
+            raise
+        if not isinstance(target, SimEvent):
+            self._step(None, SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        target.add_callback(self._resume)
+
+    def _resume(self, event: SimEvent) -> None:
+        if event._exc is not None:
+            self._step(None, event._exc)
+        else:
+            self._step(event.value, None)
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of callbacks."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List = []
+        self._seq = 0
+        self._finished = False
+
+    # -- scheduling ----------------------------------------------------
+    def _schedule(self, delay: float, fn: Callable, *args) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
+
+    def _schedule_now(self, fn: Callable, *args) -> None:
+        self._schedule(0.0, fn, *args)
+
+    # -- public factory helpers ----------------------------------------
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh pending event."""
+        return SimEvent(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` ns."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start ``gen`` as a concurrent process."""
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[SimEvent]) -> AllOf:
+        """An event that fires when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- running ---------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            stop_event: Optional[SimEvent] = None) -> float:
+        """Drain events until the heap empties, ``until`` is reached,
+        or ``stop_event`` triggers.  Returns the final simulation time.
+        """
+        while self._heap:
+            if stop_event is not None and stop_event.triggered:
+                break
+            time, _seq, fn, args = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if time < self.now:
+                raise SimulationError("time went backwards")
+            self.now = time
+            fn(*args)
+        if until is not None and not self._heap:
+            self.now = max(self.now, until) if stop_event is None else self.now
+        return self.now

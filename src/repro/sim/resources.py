@@ -1,0 +1,145 @@
+"""Capacity-limited resources and FIFO stores.
+
+A :class:`Resource` models a bank of identical servers (e.g. the four
+BMO units, or a memory channel).  Processes acquire a slot, hold it for
+a service time, and release it; waiters queue FIFO.
+
+A :class:`Store` is an unbounded-or-bounded FIFO of items with blocking
+``get`` — used for request queues between pipeline stages.
+"""
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import SimEvent, Simulator
+
+
+class Resource:
+    """FIFO resource with ``capacity`` identical slots."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = ""):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[SimEvent] = deque()
+        # Utilisation accounting.
+        self._busy_time = 0.0
+        self._last_change = 0.0
+        self.total_acquires = 0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def _account(self) -> None:
+        self._busy_time += self._in_use * (self.sim.now - self._last_change)
+        self._last_change = self.sim.now
+
+    def acquire(self) -> SimEvent:
+        """Return an event that fires once a slot is granted."""
+        event = self.sim.event(f"{self.name}.acquire")
+        self._account()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.total_acquires += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Free one slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        self._account()
+        if self._waiters:
+            # Hand the slot directly to the next waiter.
+            self.total_acquires += 1
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def use(self, service_ns: float):
+        """Process helper: acquire, hold for ``service_ns``, release."""
+        yield self.acquire()
+        try:
+            yield self.sim.timeout(service_ns)
+        finally:
+            self.release()
+
+    def utilisation(self) -> float:
+        """Time-averaged fraction of capacity in use so far."""
+        self._account()
+        if self.sim.now <= 0:
+            return 0.0
+        return self._busy_time / (self.sim.now * self.capacity)
+
+
+class Store:
+    """FIFO queue of items with blocking ``get`` and optional bound.
+
+    ``put`` on a full bounded store returns ``False`` and drops the
+    item (this models the Janus pre-execution request queue's
+    drop-on-full policy, paper §4.6) unless ``drop_oldest`` is set, in
+    which case the oldest buffered item is discarded to make room.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 name: str = "", drop_oldest: bool = False):
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.drop_oldest = drop_oldest
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimEvent] = deque()
+        self.dropped = 0
+        self.total_puts = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> bool:
+        """Enqueue ``item``; returns ``False`` if it was dropped."""
+        if self._getters:
+            self.total_puts += 1
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            if self.drop_oldest:
+                self._items.popleft()
+                self.dropped += 1
+            else:
+                self.dropped += 1
+                return False
+        self.total_puts += 1
+        self._items.append(item)
+        return True
+
+    def get(self) -> SimEvent:
+        """Return an event yielding the next item (FIFO)."""
+        event = self.sim.event(f"{self.name}.get")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek_all(self):
+        """Snapshot of buffered items (for coalescing logic)."""
+        return list(self._items)
+
+    def remove(self, item: Any) -> bool:
+        """Remove a specific buffered item (used when coalescing)."""
+        try:
+            self._items.remove(item)
+            return True
+        except ValueError:
+            return False

@@ -1,0 +1,43 @@
+"""The seven NVM transactional workloads of Table 4.
+
+Every workload is an undo-logging transactional program over real data
+structures laid out on the NVM heap: Array Swap, Queue (linked list),
+Hash Table, RB-Tree, B-Tree, TATP-style subscriber updates, and
+TPC-C-style new-order inserts.
+
+Each workload provides three instrumentation variants driven through
+one mechanism (:class:`InstrumentationPlan` consulted at named hook
+points):
+
+* ``baseline``  — the uninstrumented program (serialized / parallel /
+  ideal modes);
+* ``auto``      — the plan produced by the compiler pass over the
+  workload's IR template (§4.5);
+* ``manual``    — the hand-written best-effort plan (§4.4), which may
+  exploit runtime knowledge the static pass cannot (loops, pointers,
+  deferred/coalesced requests, commit-value pre-execution).
+"""
+
+from repro.workloads.array_swap import ArraySwapWorkload
+from repro.workloads.base import TransactionalWorkload, WorkloadParams
+from repro.workloads.btree import BTreeWorkload
+from repro.workloads.hash_table import HashTableWorkload
+from repro.workloads.queue_wl import QueueWorkload
+from repro.workloads.rbtree import RBTreeWorkload
+from repro.workloads.registry import WORKLOADS, make_workload
+from repro.workloads.tatp import TatpWorkload
+from repro.workloads.tpcc import TpccWorkload
+
+__all__ = [
+    "ArraySwapWorkload",
+    "BTreeWorkload",
+    "HashTableWorkload",
+    "QueueWorkload",
+    "RBTreeWorkload",
+    "TatpWorkload",
+    "TpccWorkload",
+    "TransactionalWorkload",
+    "WORKLOADS",
+    "WorkloadParams",
+    "make_workload",
+]

@@ -1,0 +1,199 @@
+"""Queue: randomly enqueue/dequeue on a persistent linked list.
+
+Pointer-heavy and loop-heavy, which is exactly why the automated pass
+gains almost nothing here (paper §5.2.3): the node address comes from
+the allocator at runtime, the payload writebacks sit in a loop, and
+the queue-metadata update is a sub-line pointer store.  The manual
+plan pre-executes the freshly-allocated node header and payload the
+moment the allocator returns — the programmer knows those writes are
+to private memory with both inputs ready.
+"""
+
+import struct
+
+from repro.compiler import (
+    AddrGen,
+    Fence,
+    Hook,
+    InstrumentationPlan,
+    Loop,
+    Store,
+    Template,
+    Writeback,
+)
+from repro.compiler.instrument import Directive
+from repro.compiler.ir import LogBackup, Value
+from repro.common.units import CACHE_LINE_BYTES
+from repro.workloads.base import TransactionalWorkload, commit_template_tail
+
+_META = struct.Struct("<QQQ")   # head, tail, length
+_NODE = struct.Struct("<QQ")    # value_ptr, next
+
+
+class QueueWorkload(TransactionalWorkload):
+    """FIFO linked-list queue (Table 4, "Queue")."""
+
+    name = "queue"
+    scalable = True
+
+    def setup(self) -> None:
+        heap = self.system.heap
+        self.meta_addr = heap.alloc_line(CACHE_LINE_BYTES,
+                                         label="queue-meta")
+        self.seed(self.meta_addr, _META.pack(0, 0, 0).ljust(
+            CACHE_LINE_BYTES, b"\x00"))
+        self._length = 0
+        # Pre-populate so dequeues have work from the start.
+        head = tail = 0
+        for _ in range(min(self.params.n_items, 64)):
+            node, _blob = self._alloc_node_seeded()
+            if tail:
+                self._seed_next(tail, node)
+            else:
+                head = node
+            tail = node
+            self._length += 1
+        self.seed(self.meta_addr, _META.pack(head, tail, self._length)
+                  .ljust(CACHE_LINE_BYTES, b"\x00"))
+
+    def _alloc_node_seeded(self):
+        heap = self.system.heap
+        blob = heap.alloc_line(self.params.value_size, label="q-blob")
+        node = heap.alloc_line(CACHE_LINE_BYTES, label="q-node")
+        self.seed(blob, self.make_value())
+        self.seed(node, _NODE.pack(blob, 0).ljust(CACHE_LINE_BYTES,
+                                                  b"\x00"))
+        return node, blob
+
+    def _seed_next(self, node: int, next_node: int) -> None:
+        line = bytearray(self.system.volatile.read_line(node))
+        line[8:16] = next_node.to_bytes(8, "little")
+        self.seed(node, bytes(line))
+
+    # -- transaction -----------------------------------------------------
+    def transaction(self):
+        if self._length == 0 or (self._length < 2 * self.params.n_items
+                                 and self._choice_rng.random() < 0.5):
+            yield from self._enqueue()
+        else:
+            yield from self._dequeue()
+
+    def _enqueue(self):
+        heap = self.system.heap
+        size = self.params.value_size
+        blob_addr = heap.alloc_line(size, label="q-blob")
+        node_addr = heap.alloc_line(CACHE_LINE_BYTES, label="q-node")
+        payload = self.make_value()
+        header = _NODE.pack(blob_addr, 0).ljust(CACHE_LINE_BYTES, b"\x00")
+        # after_alloc: the programmer knows the addresses AND the data
+        # of every write to the fresh node right here.
+        yield from self.fire_hook("after_alloc", {
+            "blob": (blob_addr, payload, size),
+            "node": (node_addr, header, CACHE_LINE_BYTES),
+        })
+        # Initialise the new node (fresh memory: no undo needed), and
+        # persist it before it becomes reachable.
+        yield from self.core.store(blob_addr, payload)
+        yield from self.core.store(node_addr, header)
+        yield from self.core.clwb(blob_addr, size)
+        yield from self.core.clwb(node_addr, CACHE_LINE_BYTES)
+        yield from self.core.sfence()
+
+        meta = yield from self.core.read(self.meta_addr,
+                                         CACHE_LINE_BYTES)
+        head, tail, length = _META.unpack_from(meta)
+        new_meta = _META.pack(head or node_addr, node_addr,
+                              length + 1).ljust(CACHE_LINE_BYTES, b"\x00")
+        yield from self.fire_hook("after_meta_read", {
+            "meta": (self.meta_addr, new_meta, CACHE_LINE_BYTES),
+        })
+
+        txn = self.log.begin()
+        planned = [CACHE_LINE_BYTES] * (2 if tail else 1)
+        yield from self.fire_hook("pre_commit",
+                                  self.commit_env(txn, planned))
+        yield from txn.backup(self.meta_addr, CACHE_LINE_BYTES)
+        if tail:
+            yield from txn.backup(tail, CACHE_LINE_BYTES)
+        yield from txn.fence_backups()
+        if tail:
+            # Link: sub-line pointer store into the old tail node.
+            yield from txn.write(tail + 8,
+                                 node_addr.to_bytes(8, "little"))
+        yield from txn.write(self.meta_addr, new_meta)
+        yield from txn.fence_updates()
+        yield from txn.commit()
+        self._length += 1
+
+    def _dequeue(self):
+        meta = yield from self.core.read(self.meta_addr,
+                                         CACHE_LINE_BYTES)
+        head, tail, length = _META.unpack_from(meta)
+        if head == 0:
+            return
+        node = yield from self.core.read(head, CACHE_LINE_BYTES)
+        _value_ptr, next_node = _NODE.unpack_from(node)
+        new_meta = _META.pack(next_node, 0 if next_node == 0 else tail,
+                              length - 1).ljust(CACHE_LINE_BYTES, b"\x00")
+        yield from self.fire_hook("after_meta_read", {
+            "meta": (self.meta_addr, new_meta, CACHE_LINE_BYTES),
+        })
+        txn = self.log.begin()
+        yield from self.fire_hook(
+            "pre_commit", self.commit_env(txn, [CACHE_LINE_BYTES]))
+        yield from txn.backup(self.meta_addr, CACHE_LINE_BYTES)
+        yield from txn.fence_backups()
+        yield from txn.write(self.meta_addr, new_meta)
+        yield from txn.fence_updates()
+        yield from txn.commit()
+        self._length -= 1
+
+    # -- functional checks (used by tests) ---------------------------------
+    def drain_values(self):
+        """Non-simulated walk of the queue: payload pointers in order."""
+        out = []
+        meta = self.system.volatile.read(self.meta_addr, CACHE_LINE_BYTES)
+        head, _tail, _length = _META.unpack_from(meta)
+        node = head
+        while node:
+            header = self.system.volatile.read(node, CACHE_LINE_BYTES)
+            value_ptr, next_node = _NODE.unpack_from(header)
+            out.append(value_ptr)
+            node = next_node
+        return out
+
+    # -- template / plans ----------------------------------------------------
+    @classmethod
+    def template(cls) -> Template:
+        return Template(
+            name=cls.name,
+            args=("payload",),
+            body=[
+                Hook("entry"),
+                # Allocator-returned addresses exist only at runtime.
+                AddrGen("node", inputs=(), memory_dependent=True),
+                AddrGen("blob", inputs=("node",), memory_dependent=True),
+                Hook("after_alloc"),
+                Loop(body=[
+                    Store("blob", "payload", obj="blob"),
+                    Writeback("blob", obj="blob"),
+                    Fence(),
+                ]),
+                AddrGen("tail", inputs=(), memory_dependent=True),
+                Value("new_meta"),
+                Hook("after_meta_read"),
+                LogBackup("tail", obj="meta"),
+                Fence(),
+                Store("tail", "new_meta", obj="meta"),
+                Writeback("tail", obj="meta"),
+                Fence(),
+            ] + commit_template_tail())
+
+    @classmethod
+    def manual_plan(cls) -> InstrumentationPlan:
+        plan = InstrumentationPlan(template=f"{cls.name}-manual")
+        plan.add("after_alloc", Directive("both", "blob"))
+        plan.add("after_alloc", Directive("both", "node"))
+        plan.add("after_meta_read", Directive("both", "meta"))
+        plan.add("pre_commit", Directive("both_val", "commit"))
+        return plan

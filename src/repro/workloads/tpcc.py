@@ -1,0 +1,161 @@
+"""TPC-C-style NEW_ORDER transactions (Table 4, "TPCC").
+
+Models the write path of NEW_ORDER against warehouse tables laid out
+on the NVM heap: read and bump the district's ``next_o_id``, insert an
+ORDER record, insert 5-15 ORDER-LINE records, commit.
+
+The order-line inserts run in a data-dependent loop — the automated
+pass skips them (§4.5.2), while the manual plan pre-executes each line
+as it is produced.  The order record's address derives from the loaded
+``next_o_id``, so its pre-execution window opens right after the
+district read, early in the transaction.
+"""
+
+import struct
+
+from repro.compiler import (
+    AddrGen,
+    Fence,
+    Hook,
+    InstrumentationPlan,
+    Loop,
+    Store,
+    Template,
+    Writeback,
+)
+from repro.compiler.instrument import Directive
+from repro.compiler.ir import LogBackup, Value
+from repro.common.units import CACHE_LINE_BYTES
+from repro.workloads.base import TransactionalWorkload, commit_template_tail
+
+_DISTRICT = struct.Struct("<QQ")   # next_o_id, ytd
+_ORDER = struct.Struct("<QQQB")    # o_id, c_id, entry_d, ol_cnt
+
+MAX_ORDER_LINES = 15
+
+
+class TpccWorkload(TransactionalWorkload):
+    """NEW_ORDER inserts."""
+
+    name = "tpcc"
+    scalable = False  # fixed-semantics benchmark (paper §5.2.5)
+
+    def setup(self) -> None:
+        heap = self.system.heap
+        self.max_orders = self.params.n_transactions + 8
+        self.district_addr = heap.alloc_line(CACHE_LINE_BYTES,
+                                             label="tpcc-district")
+        self.seed(self.district_addr,
+                  _DISTRICT.pack(1, 0).ljust(CACHE_LINE_BYTES, b"\x00"))
+        self.order_size = CACHE_LINE_BYTES
+        self.orders_base = heap.alloc_line(
+            self.max_orders * self.order_size, label="tpcc-orders")
+        self.ol_size = max(CACHE_LINE_BYTES, self.params.value_size)
+        self.ol_base = heap.alloc_line(
+            self.max_orders * MAX_ORDER_LINES * self.ol_size,
+            label="tpcc-orderlines")
+        self.orders_inserted = 0
+
+    def _order_addr(self, o_id: int) -> int:
+        return self.orders_base + (o_id % self.max_orders) \
+            * self.order_size
+
+    def _ol_addr(self, o_id: int, index: int) -> int:
+        slot = (o_id % self.max_orders) * MAX_ORDER_LINES + index
+        return self.ol_base + slot * self.ol_size
+
+    def transaction(self):
+        # entry: only the (global) district address is known yet.
+        yield from self.fire_hook("entry", {
+            "district": (self.district_addr, None, CACHE_LINE_BYTES)})
+        # Read the district record: next_o_id determines every insert
+        # address for this order.
+        district = yield from self.core.read(self.district_addr,
+                                             CACHE_LINE_BYTES)
+        next_o_id, ytd = _DISTRICT.unpack_from(district)
+        o_id = next_o_id
+        ol_cnt = 5 + self._choice_rng.randrange(MAX_ORDER_LINES - 5 + 1)
+        c_id = self.pick_index()
+
+        order_addr = self._order_addr(o_id)
+        order_record = _ORDER.pack(o_id, c_id, 20190622, ol_cnt).ljust(
+            CACHE_LINE_BYTES, b"\x00")
+        new_district = _DISTRICT.pack(next_o_id + 1, ytd + 1).ljust(
+            CACHE_LINE_BYTES, b"\x00")
+
+        # after_district_read: every insert address is now known.
+        yield from self.fire_hook("after_district_read", {
+            "order": (order_addr, order_record, CACHE_LINE_BYTES),
+            "district": (self.district_addr, new_district,
+                         CACHE_LINE_BYTES),
+        })
+
+        # All order-line payloads and addresses are known before the
+        # backup phase — the manual plan pre-executes each one here,
+        # one loop iteration per line, which the static pass cannot do
+        # (§4.5.2); the window spans the backup fence.
+        order_lines = []
+        for i in range(ol_cnt):
+            ol_addr = self._ol_addr(o_id, i)
+            ol_data = self.make_value(self.ol_size)
+            order_lines.append((ol_addr, ol_data))
+            yield from self.fire_hook("ol_iter", {
+                "order_line": (ol_addr, ol_data, self.ol_size)})
+
+        txn = self.log.begin()
+        yield from self.fire_hook(
+            "pre_commit", self.commit_env(txn, [CACHE_LINE_BYTES]))
+        yield from txn.backup(self.district_addr, CACHE_LINE_BYTES)
+        yield from txn.fence_backups()
+        yield from txn.write(self.district_addr, new_district)
+        yield from txn.write(order_addr, order_record)
+        for ol_addr, ol_data in order_lines:
+            yield from txn.write(ol_addr, ol_data)
+        yield from txn.fence_updates()
+        yield from txn.commit()
+        self.orders_inserted += 1
+
+    # -- functional check -----------------------------------------------------
+    def read_order(self, o_id: int):
+        raw = self.system.volatile.read(self._order_addr(o_id),
+                                        CACHE_LINE_BYTES)
+        return _ORDER.unpack_from(raw)
+
+    # -- template / plans ---------------------------------------------------------
+    @classmethod
+    def template(cls) -> Template:
+        return Template(
+            name=cls.name,
+            args=("c_id",),
+            body=[
+                Hook("entry"),
+                # next_o_id is loaded from the district record.
+                AddrGen("order_slot", inputs=(), memory_dependent=True),
+                Value("order_record"),
+                Value("new_district"),
+                AddrGen("district", inputs=()),
+                Hook("after_district_read"),
+                LogBackup("district", obj="district"),
+                Fence(),
+                Store("district", "new_district", obj="district"),
+                Store("order_slot", "order_record", obj="order"),
+                Writeback("district", obj="district"),
+                Writeback("order_slot", obj="order"),
+                Loop(body=[
+                    AddrGen("ol_slot", inputs=("order_slot",),
+                            memory_dependent=True),
+                    Value("ol_data"),
+                    Store("ol_slot", "ol_data", obj="order_line"),
+                    Writeback("ol_slot", obj="order_line"),
+                ]),
+                Fence(),
+            ] + commit_template_tail())
+
+    @classmethod
+    def manual_plan(cls) -> InstrumentationPlan:
+        plan = InstrumentationPlan(template=f"{cls.name}-manual")
+        plan.add("after_district_read", Directive("both", "order"))
+        plan.add("after_district_read", Directive("both", "district"))
+        plan.add("ol_iter", Directive("both", "order_line"))
+        plan.add("pre_commit", Directive("both_val", "commit"))
+        return plan

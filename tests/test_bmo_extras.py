@@ -1,0 +1,163 @@
+"""Tests for the compression, wear-leveling, and ECC BMOs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bmo.compression import CompressionBmo
+from repro.bmo.ecc import EccBmo, check, encode
+from repro.bmo.wear_leveling import StartGap, WearLevelingBmo
+from repro.common.config import BmoLatencies
+
+LINE = st.binary(min_size=64, max_size=64)
+
+
+class TestCompression:
+    def make(self):
+        return CompressionBmo(BmoLatencies())
+
+    def run_line(self, bmo, addr, data):
+        from repro.bmo.base import BmoContext
+        ctx = BmoContext(addr=addr, data=data)
+        bmo._c1(ctx)
+        bmo._c2(ctx)
+        ctx.completed |= {"C1", "C2"}
+        bmo.commit(ctx)
+        return ctx
+
+    def test_repetitive_data_compresses(self):
+        bmo = self.make()
+        ctx = self.run_line(bmo, 0, b"\x00" * 64)
+        assert ctx.values["compressed_size"] < 64
+        assert bmo.size_map[0] == ctx.values["compressed_size"]
+
+    def test_random_data_never_expands(self):
+        import os
+        bmo = self.make()
+        ctx = self.run_line(bmo, 0, bytes(os.urandom(64)))
+        assert ctx.values["compressed_size"] <= 64
+
+    @given(data=LINE)
+    @settings(max_examples=30)
+    def test_compressed_data_decompresses(self, data):
+        import zlib
+        bmo = self.make()
+        ctx = self.run_line(bmo, 0, data)
+        blob = ctx.values["compressed_data"]
+        if ctx.values["compressed_size"] < 64:
+            assert zlib.decompress(blob) == data
+        else:
+            assert blob == data
+
+    def test_aggregate_ratio(self):
+        bmo = self.make()
+        assert bmo.compression_ratio() == 1.0
+        self.run_line(bmo, 0, b"\x00" * 64)
+        assert bmo.compression_ratio() < 1.0
+
+
+class TestStartGap:
+    def test_initial_mapping_is_identity(self):
+        sg = StartGap(lines=8)
+        assert [sg.physical_slot(i) for i in range(8)] == list(range(8))
+
+    def test_mapping_stays_bijective_under_writes(self):
+        sg = StartGap(lines=8, gap_write_interval=3)
+        for _ in range(100):
+            sg.record_write()
+            assert sg.mapping_is_bijective()
+
+    def test_gap_moves_at_interval(self):
+        sg = StartGap(lines=8, gap_write_interval=5)
+        for _ in range(4):
+            sg.record_write()
+        assert sg.moves == 0
+        sg.record_write()
+        assert sg.moves == 1
+
+    def test_full_rotation_visits_every_slot(self):
+        sg = StartGap(lines=4, gap_write_interval=1)
+        seen = {sg.physical_slot(0)}
+        for _ in range(5 * 5):
+            sg.record_write()
+            seen.add(sg.physical_slot(0))
+        # Logical line 0 has occupied every physical slot (wear
+        # spreading, the whole point of Start-Gap).
+        assert len(seen) == 5
+
+    @given(writes=st.integers(0, 300))
+    @settings(max_examples=20)
+    def test_bijectivity_property(self, writes):
+        sg = StartGap(lines=6, gap_write_interval=2)
+        for _ in range(writes):
+            sg.record_write()
+        phys = [sg.physical_slot(i) for i in range(6)]
+        assert len(set(phys)) == 6
+
+    def test_bmo_detects_stale_slot(self):
+        from repro.bmo.base import BmoContext
+        bmo = WearLevelingBmo(BmoLatencies(), region_lines=8,
+                              gap_write_interval=1)
+        ctx = BmoContext(addr=0, data=bytes(64))
+        bmo._w1(ctx)
+        ctx.completed.add("W1")
+        assert bmo.stale_subops(ctx) == set()
+        # Enough writes to move the gap over line 0's slot.
+        for _ in range(12):
+            bmo.start_gap.record_write()
+        if bmo.start_gap.physical_slot(0) != ctx.values["wl_slot"]:
+            assert bmo.stale_subops(ctx) == {"W1"}
+
+
+class TestEcc:
+    @given(data=LINE)
+    @settings(max_examples=30)
+    def test_clean_line_verifies(self, data):
+        code = encode(data)
+        assert check(data, code) == data
+
+    @given(data=LINE, bit=st.integers(0, 511))
+    @settings(max_examples=50)
+    def test_single_bit_flip_corrected(self, data, bit):
+        code = encode(data)
+        corrupted = bytearray(data)
+        corrupted[bit // 8] ^= 1 << (bit % 8)
+        fixed = check(bytes(corrupted), code)
+        assert fixed == data
+
+    def test_double_flip_same_word_detected_as_uncorrectable(self):
+        data = bytes(64)
+        code = encode(data)
+        corrupted = bytearray(data)
+        corrupted[0] ^= 0b11  # two flips in word 0
+        assert check(bytes(corrupted), code) is None
+
+    def test_bmo_covers_ciphertext_when_encryption_present(self):
+        from repro.bmo.base import BmoContext
+        bmo = EccBmo(BmoLatencies(), with_encryption=True)
+        ctx = BmoContext(addr=0, data=bytes(64))
+        ctx.values["ciphertext"] = b"\xAB" * 64
+        bmo._x1(ctx)
+        assert ctx.values["ecc_code"] == encode(b"\xAB" * 64)
+        ctx.completed.add("X1")
+        bmo.commit(ctx)
+        assert bmo.verify_line(0, b"\xAB" * 64) == b"\xAB" * 64
+
+    def test_bmo_skips_cancelled_duplicate_writes(self):
+        from repro.bmo.base import BmoContext
+        bmo = EccBmo(BmoLatencies(), with_encryption=True)
+        ctx = BmoContext(addr=0, data=bytes(64))
+        ctx.values["ciphertext"] = None  # dedup cancelled the write
+        bmo._x1(ctx)
+        assert ctx.values["ecc_code"] is None
+
+    def test_scrub_detects_corruption(self):
+        from repro.bmo.base import BmoContext
+        bmo = EccBmo(BmoLatencies())
+        ctx = BmoContext(addr=64, data=b"\x37" * 64)
+        bmo._x1(ctx)
+        ctx.completed.add("X1")
+        bmo.commit(ctx)
+        tampered = bytearray(b"\x37" * 64)
+        tampered[5] ^= 0x10
+        assert bmo.verify_line(64, bytes(tampered)) == b"\x37" * 64

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_figures_lists_everything(capsys):
+    code, out = run_cli(capsys, "figures")
+    assert code == 0
+    for name in FIGURES:
+        assert name in out
+
+
+def test_figure_static(capsys):
+    code, out = run_cli(capsys, "figure", "table1")
+    assert code == 0
+    assert "backend memory operations" in out
+
+
+def test_figure_overhead(capsys):
+    code, out = run_cli(capsys, "figure", "overhead")
+    assert code == 0
+    assert "IRB" in out
+
+
+def test_run_command(capsys):
+    code, out = run_cli(capsys, "run", "array_swap", "--txns", "4",
+                        "--mode", "janus")
+    assert code == 0
+    assert "ns/txn" in out and "janus" in out
+
+
+def test_compare_command_orders_designs(capsys):
+    code, out = run_cli(capsys, "compare", "queue", "--txns", "6")
+    assert code == 0
+    for label in ("serialized", "parallel", "janus-manual", "ideal"):
+        assert label in out
+
+
+def test_plan_command(capsys):
+    code, out = run_cli(capsys, "plan", "array_swap")
+    assert code == 0
+    assert "PRE_ADDR" in out
+    assert "window estimate" in out
+
+
+def test_misuse_command(capsys):
+    code, out = run_cli(capsys, "misuse", "array_swap", "--txns", "4")
+    assert code == 0
+    assert "misuse report" in out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "not-a-workload"])
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure", "fig99"])

@@ -1,0 +1,262 @@
+"""Crash-consistency tests: undo/redo logs, crash injection, recovery."""
+
+import pytest
+
+from repro.common.config import default_config
+from repro.common.errors import IntegrityError
+from repro.consistency import RedoLog, UndoLog, recover
+from repro.core import NvmSystem
+
+
+def make_system(**overrides):
+    return NvmSystem(default_config(**overrides))
+
+
+def run_txn(system, log, addr, old, new, crash_after=None):
+    """Drive one undo transaction; optionally stop at a phase."""
+    core = system.cores[0]
+    stop = system.sim.event("stop")
+
+    def prog():
+        txn = log.begin()
+        yield from txn.backup(addr, len(old))
+        yield from txn.fence_backups()
+        if crash_after == "backup":
+            stop.succeed()
+            return
+        yield from txn.write(addr, new)
+        yield from txn.fence_updates()
+        if crash_after == "update":
+            stop.succeed()
+            return
+        yield from txn.commit()
+        stop.succeed()
+
+    system.sim.process(prog())
+    system.sim.run(stop_event=stop)
+
+
+def seed_value(system, addr, data):
+    """Persist an initial value outside any transaction."""
+    core = system.cores[0]
+
+    def prog():
+        yield from core.store(addr, data)
+        yield from core.persist(addr, len(data))
+
+    proc = system.sim.process(prog())
+    system.sim.run(stop_event=proc)
+
+
+class TestUndoLogProtocol:
+    def test_committed_txn_survives_crash(self):
+        system = make_system(mode="serialized")
+        log = UndoLog(system.cores[0], capacity_bytes=1 << 16)
+        addr = system.heap.alloc_line(64, label="x")
+        seed_value(system, addr, b"\x11" * 64)
+        run_txn(system, log, addr, b"\x11" * 64, b"\x22" * 64)
+        snapshot = system.crash()
+        state = recover(snapshot, [(log.base, log.capacity)])
+        assert state.read(addr, 64) == b"\x22" * 64
+        assert state.rolled_back == []
+
+    def test_uncommitted_txn_rolls_back(self):
+        system = make_system(mode="serialized")
+        log = UndoLog(system.cores[0], capacity_bytes=1 << 16)
+        addr = system.heap.alloc_line(64, label="x")
+        seed_value(system, addr, b"\x11" * 64)
+        run_txn(system, log, addr, b"\x11" * 64, b"\x22" * 64,
+                crash_after="update")
+        snapshot = system.crash()
+        state = recover(snapshot, [(log.base, log.capacity)])
+        assert state.read(addr, 64) == b"\x11" * 64  # rolled back
+        assert len(state.rolled_back) == 1
+
+    def test_crash_after_backup_only_is_clean(self):
+        system = make_system(mode="serialized")
+        log = UndoLog(system.cores[0], capacity_bytes=1 << 16)
+        addr = system.heap.alloc_line(64, label="x")
+        seed_value(system, addr, b"\x11" * 64)
+        run_txn(system, log, addr, b"\x11" * 64, b"\x22" * 64,
+                crash_after="backup")
+        snapshot = system.crash()
+        state = recover(snapshot, [(log.base, log.capacity)])
+        assert state.read(addr, 64) == b"\x11" * 64
+
+    @pytest.mark.parametrize("mode", ["serialized", "parallel", "janus"])
+    def test_recovery_identical_across_modes(self, mode):
+        system = make_system(mode=mode)
+        log = UndoLog(system.cores[0], capacity_bytes=1 << 16)
+        addr = system.heap.alloc_line(64, label="x")
+        seed_value(system, addr, b"\x33" * 64)
+        run_txn(system, log, addr, b"\x33" * 64, b"\x44" * 64)
+        snapshot = system.crash()
+        state = recover(snapshot, [(log.base, log.capacity)])
+        assert state.read(addr, 64) == b"\x44" * 64
+
+    def test_multiple_txns_mixed_outcome(self):
+        system = make_system(mode="serialized")
+        core = system.cores[0]
+        log = UndoLog(core, capacity_bytes=1 << 16)
+        a = system.heap.alloc_line(64, label="a")
+        b = system.heap.alloc_line(64, label="b")
+        seed_value(system, a, b"\xAA" * 64)
+        seed_value(system, b, b"\xBB" * 64)
+        run_txn(system, log, a, b"\xAA" * 64, b"\xA1" * 64)  # commits
+        run_txn(system, log, b, b"\xBB" * 64, b"\xB1" * 64,
+                crash_after="update")  # crashes
+        snapshot = system.crash()
+        state = recover(snapshot, [(log.base, log.capacity)])
+        assert state.read(a, 64) == b"\xA1" * 64
+        assert state.read(b, 64) == b"\xBB" * 64
+
+    def test_phase_violations_rejected(self):
+        from repro.common.errors import SimulationError
+        system = make_system(mode="serialized")
+        core = system.cores[0]
+        log = UndoLog(core, capacity_bytes=1 << 16)
+        addr = system.heap.alloc_line(64)
+        seed_value(system, addr, bytes(64))
+
+        def bad():
+            txn = log.begin()
+            yield from txn.write(addr, b"\x01" * 64)  # auto-fences
+            yield from txn.commit()
+            yield from txn.backup(addr, 64)  # after done: illegal
+
+        proc = system.sim.process(bad())
+        system.sim.run()
+        assert isinstance(proc._exc, SimulationError)
+
+
+class TestRecoveryThroughDedup:
+    def test_duplicate_line_recovers_through_remap(self):
+        system = make_system(mode="serialized")
+        a = system.heap.alloc_line(64, label="a")
+        b = system.heap.alloc_line(64, label="b")
+        data = b"\x66" * 64
+        seed_value(system, a, data)
+        seed_value(system, b, data)  # dup: never physically written
+        snapshot = system.crash()
+        assert b not in snapshot["nvm_lines"]  # truly deduplicated
+        state = recover(snapshot, [])
+        assert state.read(b, 64) == data
+
+    def test_relocated_canonical_line_still_recovers(self):
+        system = make_system(mode="serialized")
+        a = system.heap.alloc_line(64, label="a")
+        b = system.heap.alloc_line(64, label="b")
+        data = b"\x77" * 64
+        seed_value(system, a, data)
+        seed_value(system, b, data)       # b aliases a's line
+        seed_value(system, a, b"\x88" * 64)  # a overwritten: relocation
+        snapshot = system.crash()
+        state = recover(snapshot, [])
+        assert state.read(a, 64) == b"\x88" * 64
+        assert state.read(b, 64) == data
+        dedup = system.pipeline.by_name["dedup"]
+        assert dedup.table.relocations == 1
+
+
+class TestMacVerification:
+    def test_tampered_ciphertext_detected(self):
+        system = make_system(mode="serialized")
+        addr = system.heap.alloc_line(64, label="x")
+        seed_value(system, addr, b"\x99" * 64)
+        snapshot = system.crash()
+        # Flip a byte of the stored ciphertext.
+        line = bytearray(snapshot["nvm_lines"][addr])
+        line[0] ^= 0xFF
+        snapshot["nvm_lines"][addr] = bytes(line)
+        state = recover(snapshot, [], verify_macs=True)
+        with pytest.raises(IntegrityError):
+            state.read(addr, 64)
+
+    def test_untampered_verifies_clean(self):
+        system = make_system(mode="serialized")
+        addr = system.heap.alloc_line(64, label="x")
+        seed_value(system, addr, b"\x99" * 64)
+        snapshot = system.crash()
+        state = recover(snapshot, [], verify_macs=True)
+        assert state.read(addr, 64) == b"\x99" * 64
+
+
+class TestRedoLog:
+    def test_redo_transaction_defers_in_place_writes(self):
+        system = make_system(mode="serialized")
+        core = system.cores[0]
+        log = RedoLog(core, capacity_bytes=1 << 16)
+        addr = system.heap.alloc_line(64, label="x")
+        seed_value(system, addr, b"\x10" * 64)
+        done = system.sim.event("done")
+
+        def prog():
+            txn = log.begin()
+            yield from txn.log_update(addr, b"\x20" * 64)
+            assert system.volatile.read(addr, 64) == b"\x10" * 64
+            yield from txn.commit()
+            yield from txn.apply_updates()
+            done.succeed()
+
+        system.sim.process(prog())
+        system.sim.run(stop_event=done)
+        assert system.volatile.read(addr, 64) == b"\x20" * 64
+
+    def test_committed_redo_txn_replays_after_crash(self):
+        """Crash after commit but before apply_updates: recovery must
+        reinstate the logged new values."""
+        system = make_system(mode="serialized")
+        core = system.cores[0]
+        log = RedoLog(core, capacity_bytes=1 << 16)
+        addr = system.heap.alloc_line(64, label="x")
+        seed_value(system, addr, b"\x10" * 64)
+        stop = system.sim.event("stop")
+
+        def prog():
+            txn = log.begin()
+            yield from txn.log_update(addr, b"\x20" * 64)
+            yield from txn.commit()
+            stop.succeed()  # crash before apply_updates
+
+        system.sim.process(prog())
+        system.sim.run(stop_event=stop)
+        snapshot = system.crash()
+        state = recover(snapshot,
+                        redo_log_regions=[(log.base, log.capacity)])
+        assert state.read(addr, 64) == b"\x20" * 64
+
+    def test_uncommitted_redo_txn_not_replayed(self):
+        system = make_system(mode="serialized")
+        core = system.cores[0]
+        log = RedoLog(core, capacity_bytes=1 << 16)
+        addr = system.heap.alloc_line(64, label="x")
+        seed_value(system, addr, b"\x10" * 64)
+        stop = system.sim.event("stop")
+
+        def prog():
+            txn = log.begin()
+            yield from txn.log_update(addr, b"\x20" * 64)
+            yield from core.sfence()
+            stop.succeed()  # crash before the commit record
+
+        system.sim.process(prog())
+        system.sim.run(stop_event=stop)
+        snapshot = system.crash()
+        state = recover(snapshot,
+                        redo_log_regions=[(log.base, log.capacity)])
+        assert state.read(addr, 64) == b"\x10" * 64
+
+    def test_redo_phase_violation_rejected(self):
+        from repro.common.errors import SimulationError
+        system = make_system(mode="serialized")
+        core = system.cores[0]
+        log = RedoLog(core, capacity_bytes=1 << 16)
+        addr = system.heap.alloc_line(64)
+
+        def bad():
+            txn = log.begin()
+            yield from txn.apply_updates()  # before commit
+
+        proc = system.sim.process(bad())
+        system.sim.run()
+        assert isinstance(proc._exc, SimulationError)

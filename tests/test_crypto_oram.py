@@ -1,0 +1,147 @@
+"""Tests for the Path ORAM substrate and the ORAM BMO."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bmo.base import BmoContext
+from repro.bmo.oram import OramBmo
+from repro.common.config import default_config
+from repro.common.errors import CryptoError
+from repro.crypto.path_oram import PathOram
+
+
+def make_oram(height=4, slots=4, seed=1):
+    return PathOram(height=height, bucket_slots=slots,
+                    rng=random.Random(seed))
+
+
+class TestPathOram:
+    def test_write_then_read_roundtrip(self):
+        oram = make_oram()
+        oram.access(7, b"payload-7")
+        assert oram.access(7) == b"payload-7"
+
+    def test_absent_block_reads_none(self):
+        oram = make_oram()
+        assert oram.access(42) is None
+
+    def test_update_overwrites(self):
+        oram = make_oram()
+        oram.access(1, b"old")
+        oram.access(1, b"new")
+        assert oram.access(1) == b"new"
+
+    def test_position_changes_on_access(self):
+        """The obliviousness property: every access remaps the block,
+        so repeated accesses touch different paths."""
+        oram = make_oram(height=6)
+        oram.access(5, b"x")
+        positions = set()
+        for _ in range(20):
+            positions.add(oram.position_of(5))
+            oram.access(5)
+        assert len(positions) > 3
+
+    def test_block_always_findable_on_its_path(self):
+        oram = make_oram()
+        rnd = random.Random(3)
+        for i in range(20):
+            oram.access(i, bytes([i]) * 8)
+        for _ in range(100):
+            block = rnd.randrange(20)
+            oram.access(block)
+        for i in range(20):
+            assert oram.find_block(i) == bytes([i]) * 8
+
+    def test_stash_stays_bounded_under_random_access(self):
+        oram = make_oram(height=5, slots=4)
+        rnd = random.Random(9)
+        for i in range(32):
+            oram.access(i, bytes(8))
+        worst = 0
+        for _ in range(300):
+            oram.access(rnd.randrange(32))
+            worst = max(worst, oram.stash_size)
+        # Z=4 Path ORAM at 32 blocks / 32 leaves keeps a small stash.
+        assert worst < 32
+
+    def test_path_nodes_shape(self):
+        oram = make_oram(height=3)
+        nodes = oram.path_nodes(5)  # 0b101
+        assert nodes == [(0, 0), (1, 1), (2, 2), (3, 5)]
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(CryptoError):
+            PathOram(height=0)
+        with pytest.raises(CryptoError):
+            make_oram().path_nodes(999)
+
+    @settings(max_examples=20)
+    @given(ops=st.lists(st.tuples(st.integers(0, 15),
+                                  st.binary(min_size=1, max_size=8)),
+                        min_size=1, max_size=40))
+    def test_last_write_wins_property(self, ops):
+        oram = make_oram(height=4)
+        latest = {}
+        for block, payload in ops:
+            oram.access(block, payload)
+            latest[block] = payload
+        for block, payload in latest.items():
+            assert oram.find_block(block) == payload
+
+
+class TestOramBmo:
+    def run_write(self, bmo, addr, data):
+        ctx = BmoContext(addr=addr, data=data)
+        for op in bmo.subops():
+            op.execute(ctx)
+        bmo.commit(ctx)
+        return ctx
+
+    def test_classification(self):
+        from repro.bmo.graph import DependencyGraph
+        graph = DependencyGraph(OramBmo().subops())
+        labels = graph.classification()
+        assert labels["O1"] == "addr"
+        assert labels["O2"] == "addr"
+        assert labels["O3"] == "both"
+
+    def test_commit_places_block(self):
+        bmo = OramBmo()
+        self.run_write(bmo, 0x40 * 5, b"\x05" * 64)
+        assert bmo.oram.find_block(5) == b"\x05" * 64
+
+    def test_stale_after_conflicting_access(self):
+        bmo = OramBmo()
+        self.run_write(bmo, 0x40 * 5, b"\x05" * 64)
+        ctx = BmoContext(addr=0x40 * 5, data=b"\x06" * 64)
+        for op in bmo.subops():
+            op.execute(ctx)
+        # Another access to block 5 remaps it before our write lands.
+        bmo.oram.access(5)
+        assert bmo.stale_subops(ctx) == {"O1"}
+
+    def test_oram_in_full_pipeline(self):
+        from repro.bmo import build_pipeline
+        cfg = default_config(
+            bmos=("dedup", "encryption", "integrity", "oram"))
+        pipeline = build_pipeline(cfg)
+        ctx = pipeline.make_context(addr=0x1000, data=b"\x11" * 64)
+        pipeline.execute_all(ctx)
+        action = pipeline.commit(ctx)
+        assert action.write_data
+        # The ORAM tree holds the ciphertext for the block.
+        oram = pipeline.by_name["oram"].oram
+        block = 0x1000 // 64
+        assert oram.find_block(block) == ctx.values["ciphertext"]
+
+    def test_addr_only_preexecution_covers_o1_o2(self):
+        from repro.bmo import BmoPipeline
+        from repro.bmo.base import ExternalInput
+        pipeline = BmoPipeline([OramBmo()])
+        runnable = pipeline.graph.runnable_with(
+            frozenset({ExternalInput.ADDR}))
+        assert runnable == ["O1", "O2"]

@@ -1,0 +1,30 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public contract; CI must catch any API drift
+that would break them.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES,
+                         ids=[p.stem for p in EXAMPLES])
+def test_example_runs_clean(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "kv_store_recovery",
+            "database_transactions", "timeline_demo",
+            "custom_bmo", "instrumentation_tools",
+            "write_path_analysis"} <= names

@@ -1,0 +1,131 @@
+"""End-to-end integration across the widest configurations."""
+
+import pytest
+
+from repro.common.config import default_config
+from repro.consistency import UndoLog, recover
+from repro.core import NvmSystem
+from repro.workloads import WorkloadParams, make_workload
+
+ALL_BMOS = ("compression", "wear_leveling", "dedup", "encryption",
+            "integrity", "ecc")
+
+
+def make_system(**overrides):
+    return NvmSystem(default_config(**overrides))
+
+
+class TestAllBmosTogether:
+    @pytest.mark.parametrize("mode", ["serialized", "parallel",
+                                      "janus"])
+    def test_workload_runs_with_six_bmos(self, mode):
+        system = make_system(mode=mode, bmos=ALL_BMOS)
+        workload = make_workload(
+            "array_swap", system, system.cores[0],
+            WorkloadParams(n_items=8, value_size=64,
+                           n_transactions=4),
+            variant="manual" if mode == "janus" else "baseline")
+        system.run_programs([workload.run()])
+        assert workload.completed_transactions == 4
+        # Every mechanism did real work.
+        assert system.pipeline.by_name["compression"].bytes_in > 0
+        assert system.pipeline.by_name["ecc"].codes
+        assert system.pipeline.by_name["dedup"].table.remap
+
+    def test_six_bmo_janus_still_faster_than_serialized(self):
+        times = {}
+        for mode, variant in (("serialized", "baseline"),
+                              ("janus", "manual")):
+            system = make_system(mode=mode, bmos=ALL_BMOS)
+            workload = make_workload(
+                "tatp", system, system.cores[0],
+                WorkloadParams(n_items=8, value_size=64,
+                               n_transactions=8),
+                variant=variant)
+            times[mode] = system.run_programs([workload.run()])
+        assert times["janus"] < times["serialized"]
+
+    def test_crash_recovery_with_six_bmos(self):
+        system = make_system(mode="serialized", bmos=ALL_BMOS)
+        core = system.cores[0]
+        log = UndoLog(core, capacity_bytes=1 << 16)
+        addr = system.heap.alloc_line(64, label="x")
+        done = system.sim.event("done")
+
+        def prog():
+            yield from core.store(addr, b"\x21" * 64)
+            yield from core.persist(addr, 64)
+            txn = log.begin()
+            yield from txn.backup(addr, 64)
+            yield from txn.write(addr, b"\x22" * 64)
+            yield from txn.commit()
+            done.succeed()
+
+        system.sim.process(prog())
+        system.sim.run(stop_event=done)
+        snapshot = system.crash()
+        state = recover(snapshot, [(log.base, log.capacity)])
+        assert state.read(addr, 64) == b"\x22" * 64
+
+
+class TestOramPipeline:
+    def test_workload_on_oram_pipeline(self):
+        system = make_system(
+            mode="janus",
+            bmos=("dedup", "encryption", "integrity", "oram"))
+        workload = make_workload(
+            "queue", system, system.cores[0],
+            WorkloadParams(n_items=8, value_size=64,
+                           n_transactions=4),
+            variant="manual")
+        system.run_programs([workload.run()])
+        assert workload.completed_transactions == 4
+        oram = system.pipeline.by_name["oram"].oram
+        assert oram.accesses > 0
+
+    def test_oram_raises_serial_tax_and_janus_recovers(self):
+        from repro.bmo import build_pipeline
+        base_cfg = default_config()
+        oram_cfg = default_config(
+            bmos=("dedup", "encryption", "integrity", "oram"))
+        assert build_pipeline(oram_cfg).serial_latency() > \
+            build_pipeline(base_cfg).serial_latency() + 900
+        times = {}
+        for mode, variant in (("serialized", "baseline"),
+                              ("janus", "manual")):
+            system = NvmSystem(oram_cfg.replace(mode=mode))
+            workload = make_workload(
+                "array_swap", system, system.cores[0],
+                WorkloadParams(n_items=8, value_size=64,
+                               n_transactions=6),
+                variant=variant)
+            times[mode] = system.run_programs([workload.run()])
+        assert times["serialized"] / times["janus"] > 1.5
+
+
+class TestCachedMerkleLevels:
+    def test_merkle_cache_reduces_integrity_latency(self):
+        import dataclasses
+        from repro.bmo import build_pipeline
+        base = default_config()
+        cached_cfg = base.replace(integrity=dataclasses.replace(
+            base.integrity, cached_levels=4))
+        full = build_pipeline(base).serial_latency()
+        cached = build_pipeline(cached_cfg).serial_latency()
+        assert cached == pytest.approx(
+            full - 4 * base.bmo_latencies.sha1_ns)
+
+    def test_cached_levels_speed_up_serialized_runs(self):
+        import dataclasses
+        times = {}
+        for levels in (0, 6):
+            cfg = default_config(mode="serialized")
+            cfg = cfg.replace(integrity=dataclasses.replace(
+                cfg.integrity, cached_levels=levels))
+            system = NvmSystem(cfg)
+            workload = make_workload(
+                "array_swap", system, system.cores[0],
+                WorkloadParams(n_items=8, value_size=64,
+                               n_transactions=6))
+            times[levels] = system.run_programs([workload.run()])
+        assert times[6] < times[0]

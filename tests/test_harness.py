@@ -1,0 +1,103 @@
+"""Tests for the experiment harness and figure drivers."""
+
+import pytest
+
+from repro.harness.experiments import (
+    fig3_timeline,
+    fig6_dependency_graph,
+    fig10_ideal_comparison,
+    fig11_compiler,
+    fig14_resources,
+    overhead_analysis,
+    table1_bmo_catalog,
+)
+from repro.harness.runner import (
+    fully_pre_executed_fraction,
+    run_point,
+    speedup_over,
+)
+from repro.workloads import WorkloadParams
+
+FAST = WorkloadParams(n_items=16, value_size=64, n_transactions=5)
+
+
+class TestRunner:
+    def test_run_point_returns_populated_result(self):
+        result = run_point("array_swap", mode="serialized", params=FAST)
+        assert result.transactions == 5
+        assert result.elapsed_ns > 0
+        assert result.ns_per_transaction > 0
+        assert result.stats["mc.writebacks"] > 0
+
+    def test_variant_defaults(self):
+        ser = run_point("array_swap", mode="serialized", params=FAST)
+        jan = run_point("array_swap", mode="janus", params=FAST)
+        assert ser.variant == "baseline"
+        assert jan.variant == "manual"
+
+    def test_speedup_over(self):
+        ser = run_point("array_swap", mode="serialized", params=FAST)
+        jan = run_point("array_swap", mode="janus", params=FAST)
+        assert speedup_over(ser, jan) > 1.0
+        assert speedup_over(ser, ser) == pytest.approx(1.0)
+
+    def test_fully_pre_executed_fraction_bounds(self):
+        jan = run_point("array_swap", mode="janus", params=FAST)
+        frac = fully_pre_executed_fraction(jan)
+        assert 0.0 <= frac <= 1.0
+
+    def test_unknown_workload_rejected(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError):
+            run_point("nonsense", params=FAST)
+
+    def test_deterministic_across_runs(self):
+        a = run_point("queue", mode="janus", params=FAST)
+        b = run_point("queue", mode="janus", params=FAST)
+        assert a.elapsed_ns == b.elapsed_ns
+
+
+class TestStaticFigures:
+    def test_table1_covers_all_bmo_classes(self):
+        result = table1_bmo_catalog()
+        assert len(result.data["rows"]) == 7
+        assert "360 ns" in result.rendered  # 9-level Merkle tree
+        assert "ORAM" in result.rendered
+
+    def test_fig3_ordering(self):
+        result = fig3_timeline()
+        assert result.data["pre_executed_ns"] == 0.0
+        assert result.data["parallel_ns"] < result.data["serialized_ns"]
+
+    def test_fig6_matches_paper_classification(self):
+        labels = fig6_dependency_graph().data["classification"]
+        assert labels["E1"] == labels["E2"] == "addr"
+        assert labels["D1"] == labels["D2"] == "data"
+        assert labels["E3"] == "both"
+
+    def test_overhead_numbers(self):
+        data = overhead_analysis().data
+        assert 9.0 < data["irb_kib"] < 9.5
+        assert data["irb_entry_bits"] == 1179
+
+
+class TestDynamicFigures:
+    def test_fig10_small_scale(self):
+        result = fig10_ideal_comparison(scale=0.2,
+                                        workloads=["array_swap"])
+        row = result.data["array_swap"]
+        assert row["serialized"] > row["janus"] > 1.0
+
+    def test_fig11_small_scale(self):
+        result = fig11_compiler(scale=0.2, workloads=["array_swap",
+                                                      "rbtree"])
+        assert result.data["rbtree"]["auto"] <= \
+            result.data["rbtree"]["manual"] + 1e-9
+
+    def test_fig14_fixed_baseline(self):
+        result = fig14_resources(scale=0.4, scales=(1, 4),
+                                 value_size=2048,
+                                 workloads=["array_swap"])
+        series = result.data["array_swap"]
+        assert set(series) == {"1x", "4x"}
+        assert all(v > 0 for v in series.values())

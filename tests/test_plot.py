@@ -1,0 +1,44 @@
+"""Tests for the ASCII bar-chart renderer."""
+
+from repro.harness.plot import bar_chart, fig9_chart, fig11_chart
+
+
+def test_bars_scale_with_values():
+    text = bar_chart("t", {"g": {"small": 1.0, "big": 2.0}})
+    small_line = next(l for l in text.splitlines() if "small" in l)
+    big_line = next(l for l in text.splitlines() if "big" in l)
+    assert big_line.count("#") > small_line.count("#")
+
+
+def test_baseline_marker_present():
+    text = bar_chart("t", {"g": {"a": 0.5, "b": 2.0}}, baseline=1.0)
+    assert "|" in text
+
+
+def test_values_printed_with_unit():
+    text = bar_chart("t", {"g": {"a": 1.234}}, unit="x")
+    assert "1.23x" in text
+
+
+def test_empty_data_safe():
+    assert "(no data)" in bar_chart("t", {})
+
+
+def test_fig9_chart_shape():
+    data = {"array_swap": {1: (1.1, 2.0), 2: (1.1, 1.9)}}
+    text = fig9_chart(data)
+    assert "1-core janus" in text and "2-core parallel" in text
+
+
+def test_fig11_chart_includes_all_series():
+    data = {"rbtree": {"manual": 1.8, "auto": 1.4, "profile": 1.9}}
+    text = fig11_chart(data)
+    for label in ("manual", "auto", "profile"):
+        assert label in text
+
+
+def test_charts_on_live_driver_output():
+    from repro.harness.experiments import fig11_compiler
+    result = fig11_compiler(scale=0.15, workloads=["array_swap"])
+    text = fig11_chart(result.data)
+    assert "array_swap" in text and "#" in text

@@ -1,0 +1,118 @@
+"""Tests for profile-guided instrumentation (§6 future work)."""
+
+import pytest
+
+from repro.compiler.profile_guided import (
+    ProfileGuidedInstrumenter,
+    RecordingPlan,
+    build_profile_guided_plan,
+)
+from repro.harness.runner import run_point, speedup_over
+from repro.workloads import WORKLOADS, WorkloadParams
+
+FAST = WorkloadParams(n_items=16, value_size=64, n_transactions=6)
+
+
+class TestRecordingPlan:
+    def test_issues_nothing(self):
+        plan = RecordingPlan()
+        assert plan.at("anything") == []
+
+    def test_records_availability(self):
+        plan = RecordingPlan()
+        plan.observe("entry", {"item": (0x40, b"\x01" * 64, 64)})
+        plan.observe("entry", {"item": (0x40, None, 64)})
+        record = plan.observations[("entry", "item")]
+        assert record.firings == 2
+        assert record.with_addr == 2
+        assert record.with_both == 1
+
+    def test_partial_line_data_not_counted_usable(self):
+        plan = RecordingPlan()
+        plan.observe("entry", {"field": (0x40, b"\x01" * 32, 32)})
+        record = plan.observations[("entry", "field")]
+        assert record.with_data == 0  # sub-line: decoder would drop it
+
+    def test_hook_order_tracks_first_seen(self):
+        plan = RecordingPlan()
+        plan.observe("b", {})
+        plan.observe("a", {})
+        plan.observe("b", {})
+        assert plan.hook_order == ["b", "a"]
+
+
+class TestDerivation:
+    def test_consistent_both_availability_yields_both(self):
+        plan = RecordingPlan()
+        for _ in range(10):
+            plan.observe("entry", {"item": (0x40, b"\x01" * 64, 64)})
+        derived = ProfileGuidedInstrumenter().derive(plan)
+        kinds = {(d.kind, d.obj) for d in derived.at("entry")}
+        assert ("both", "item") in kinds
+
+    def test_object_claimed_at_earliest_hook_only(self):
+        plan = RecordingPlan()
+        for _ in range(5):
+            plan.observe("early", {"item": (0x40, b"\x01" * 64, 64)})
+            plan.observe("late", {"item": (0x40, b"\x01" * 64, 64)})
+        derived = ProfileGuidedInstrumenter().derive(plan)
+        assert derived.at("early")
+        assert not derived.at("late")
+
+    def test_inconsistent_availability_filtered(self):
+        plan = RecordingPlan()
+        plan.observe("entry", {"item": (0x40, b"\x01" * 64, 64)})
+        for _ in range(9):
+            plan.observe("entry", {"item": (None, None, 0)})
+        derived = ProfileGuidedInstrumenter(
+            min_availability=0.9).derive(plan)
+        assert derived.at("entry") == []
+
+    def test_addr_only_falls_back_to_addr_directive(self):
+        plan = RecordingPlan()
+        for _ in range(5):
+            plan.observe("entry", {"item": (0x40, None, 64)})
+        derived = ProfileGuidedInstrumenter().derive(plan)
+        assert [d.kind for d in derived.at("entry")] == ["addr"]
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", ["array_swap", "rbtree", "tpcc"])
+    def test_profile_covers_loop_hooks_the_static_pass_cannot(self,
+                                                              name):
+        plan = build_profile_guided_plan(name, params=FAST)
+        static = WORKLOADS[name].auto_plan()
+        if name in ("rbtree", "tpcc"):
+            loop_hook = "update_iter" if name == "rbtree" else "ol_iter"
+            assert plan.at(loop_hook), plan.describe()
+            assert not static.at(loop_hook)
+
+    def test_profile_guided_beats_static_auto_on_rbtree(self):
+        ser = run_point("rbtree", mode="serialized", params=FAST)
+        auto = run_point("rbtree", mode="janus", variant="auto",
+                         params=FAST)
+        profile = run_point("rbtree", mode="janus", variant="profile",
+                            params=FAST)
+        assert speedup_over(ser, profile) > speedup_over(ser, auto)
+
+    def test_profile_guided_close_to_manual_on_tpcc(self):
+        ser = run_point("tpcc", mode="serialized", params=FAST)
+        manual = run_point("tpcc", mode="janus", variant="manual",
+                           params=FAST)
+        profile = run_point("tpcc", mode="janus", variant="profile",
+                            params=FAST)
+        ratio = speedup_over(ser, profile) / speedup_over(ser, manual)
+        assert ratio > 0.85
+
+    def test_profile_variant_via_make_workload(self):
+        from repro.common.config import default_config
+        from repro.core import NvmSystem
+        from repro.workloads import make_workload
+
+        system = NvmSystem(default_config(mode="janus"))
+        workload = make_workload("array_swap", system,
+                                 system.cores[0], FAST,
+                                 variant="profile")
+        system.run_programs([workload.run()])
+        assert workload.completed_transactions == FAST.n_transactions
+        assert system.janus.stats.counters["requests"].value > 0

@@ -1,0 +1,99 @@
+"""Tests for the decryption-aware read path and counter cache."""
+
+import pytest
+
+from repro.common.config import default_config
+from repro.core import NvmSystem
+
+
+def make_system(**overrides):
+    return NvmSystem(default_config(mode="serialized", **overrides))
+
+
+def timed_read(system, addr, size):
+    core = system.cores[0]
+    out = {}
+
+    def prog():
+        t0 = system.sim.now
+        yield from core.read(addr, size)
+        out["ns"] = system.sim.now - t0
+
+    proc = system.sim.process(prog())
+    system.sim.run(stop_event=proc)
+    return out["ns"]
+
+
+def test_cold_read_pays_decryption_penalty():
+    enc = make_system()
+    cold_enc = timed_read(enc, 0x10000, 64)
+    plain = make_system(bmos=("dedup",))
+    cold_plain = timed_read(plain, 0x10000, 64)
+    # Counter-cache miss: counter fetch + AES + XOR on top.
+    cfg = default_config()
+    expected_extra = (cfg.memory.read_service_ns
+                      + cfg.bmo_latencies.aes_ns
+                      + cfg.bmo_latencies.xor_ns)
+    assert cold_enc == pytest.approx(cold_plain + expected_extra)
+
+
+def test_warm_counter_cache_read_overlaps_decryption():
+    system = make_system()
+    first = timed_read(system, 0x20000, 64)
+    # Evict the line from L1/L2 but keep the counter cached: touch
+    # enough other lines to churn the data caches.  Simpler: read a
+    # line whose counter entry was just cached via a neighbour.
+    # Directly exercise the controller's penalty function instead.
+    controller = system.controller
+    miss = controller.read_decrypt_penalty_ns(0x30000, streamed=False)
+    hit = controller.read_decrypt_penalty_ns(0x30000, streamed=False)
+    assert miss > hit == pytest.approx(
+        default_config().bmo_latencies.xor_ns)
+    assert first > 0
+
+
+def test_l1_hit_has_no_decrypt_penalty():
+    system = make_system()
+    timed_read(system, 0x40000, 64)       # cold
+    warm = timed_read(system, 0x40000, 64)  # L1 hit
+    assert warm == pytest.approx(default_config().cache.l1_hit_ns)
+
+
+def test_streamed_lines_pay_reduced_penalty():
+    system = make_system()
+    single = timed_read(system, 0x50000, 64)
+    system2 = make_system()
+    bulk = timed_read(system2, 0x60000, 8 * 64)
+    # Eight lines cost far less than eight cold single-line reads.
+    assert bulk < 3 * single
+
+
+def test_counter_cache_hit_rate_reported():
+    system = make_system()
+    controller = system.controller
+    for i in range(4):
+        controller.read_decrypt_penalty_ns(0x1000, streamed=False)
+    assert controller.counter_cache_hit_rate() == pytest.approx(0.75)
+
+
+def test_no_encryption_no_penalty():
+    system = make_system(bmos=("dedup", "integrity"))
+    assert system.controller.read_decrypt_penalty_ns(
+        0x1000, streamed=False) == 0.0
+
+
+def test_stores_unaffected_by_read_penalty():
+    enc = make_system()
+    plain = make_system(bmos=("dedup",))
+    out = {}
+
+    def prog(system, key):
+        core = system.cores[0]
+        t0 = system.sim.now
+        yield from core.store(0x70000, b"\x01" * 64)
+        out[key] = system.sim.now - t0
+
+    for system, key in ((enc, "enc"), (plain, "plain")):
+        proc = system.sim.process(prog(system, key))
+        system.sim.run(stop_event=proc)
+    assert out["enc"] == pytest.approx(out["plain"])

@@ -1,0 +1,215 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(10)
+        yield sim.timeout(5.5)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert sim.now == pytest.approx(15.5)
+    assert p.value == pytest.approx(15.5)
+
+
+def test_zero_timeout_runs_same_time():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(0)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == 0.0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_processes_interleave_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def worker(name, delay):
+        yield sim.timeout(delay)
+        order.append((name, sim.now))
+
+    sim.process(worker("slow", 20))
+    sim.process(worker("fast", 5))
+    sim.process(worker("mid", 10))
+    sim.run()
+    assert order == [("fast", 5), ("mid", 10), ("slow", 20)]
+
+
+def test_event_succeed_wakes_waiter_with_value():
+    sim = Simulator()
+    ev = sim.event("signal")
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append((value, sim.now))
+
+    def signaller():
+        yield sim.timeout(7)
+        ev.succeed("payload")
+
+    sim.process(waiter())
+    sim.process(signaller())
+    sim.run()
+    assert got == [("payload", 7)]
+
+
+def test_event_double_trigger_is_error():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_wait_on_already_triggered_event():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(99)
+    got = []
+
+    def late_waiter():
+        yield sim.timeout(3)
+        value = yield ev
+        got.append(value)
+
+    sim.process(late_waiter())
+    sim.run()
+    assert got == [99]
+
+
+def test_process_waits_on_process_return_value():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(4)
+        return "done"
+
+    def parent():
+        result = yield sim.process(child())
+        return (result, sim.now)
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == ("done", 4)
+
+
+def test_all_of_waits_for_every_child():
+    sim = Simulator()
+
+    def parent():
+        values = yield sim.all_of([sim.timeout(3, "a"), sim.timeout(9, "b")])
+        return (values, sim.now)
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == (["a", "b"], 9)
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def parent():
+        values = yield sim.all_of([])
+        return values
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == []
+
+
+def test_all_of_propagates_child_failure():
+    """A failed member must fail the whole AllOf — silent swallowing
+    of process errors once hid a real bug in the memory controller."""
+    sim = Simulator()
+    caught = []
+
+    def failing_child():
+        yield sim.timeout(1)
+        raise ValueError("child exploded")
+
+    def ok_child():
+        yield sim.timeout(5)
+
+    def parent():
+        try:
+            yield sim.all_of([sim.process(failing_child()),
+                              sim.process(ok_child())])
+        except ValueError as err:
+            caught.append(str(err))
+
+    sim.process(parent())
+    sim.run()
+    assert caught == ["child exploded"]
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as err:
+            caught.append(str(err))
+
+    sim.process(waiter())
+    ev.fail(ValueError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    p = sim.process(bad())
+    sim.run()
+    assert p.triggered
+    assert isinstance(p._exc, SimulationError)
+
+
+def test_run_until_limit_stops_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100)
+
+    sim.process(proc())
+    sim.run(until=30)
+    assert sim.now == 30
+
+
+def test_run_with_stop_event():
+    sim = Simulator()
+    stop = sim.event()
+
+    def proc():
+        yield sim.timeout(5)
+        stop.succeed()
+        yield sim.timeout(100)
+
+    sim.process(proc())
+    sim.run(stop_event=stop)
+    assert sim.now <= 6

@@ -1,0 +1,139 @@
+"""Tests for resources and stores."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Resource, Simulator, Store
+
+
+def test_resource_serialises_beyond_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2, name="units")
+    finish = []
+
+    def job(name):
+        yield from res.use(10)
+        finish.append((name, sim.now))
+
+    for i in range(4):
+        sim.process(job(i))
+    sim.run()
+    # Two jobs run in [0,10], the next two in [10,20].
+    assert finish == [(0, 10), (1, 10), (2, 20), (3, 20)]
+
+
+def test_resource_release_wakes_fifo_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def job(name, think):
+        yield sim.timeout(think)
+        yield res.acquire()
+        order.append(name)
+        yield sim.timeout(5)
+        res.release()
+
+    sim.process(job("a", 0))
+    sim.process(job("b", 1))
+    sim.process(job("c", 2))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_resource_release_idle_is_error():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_zero_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_utilisation_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def job():
+        yield from res.use(50)
+        yield sim.timeout(50)
+
+    sim.process(job())
+    sim.run()
+    assert res.utilisation() == pytest.approx(0.5)
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    def producer():
+        yield sim.timeout(1)
+        store.put("x")
+        store.put("y")
+        yield sim.timeout(1)
+        store.put("z")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    times = []
+
+    def consumer():
+        yield store.get()
+        times.append(sim.now)
+
+    def producer():
+        yield sim.timeout(42)
+        store.put(1)
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert times == [42]
+
+
+def test_bounded_store_drops_new_when_full():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    assert store.put(1)
+    assert store.put(2)
+    assert not store.put(3)
+    assert store.dropped == 1
+    assert store.peek_all() == [1, 2]
+
+
+def test_bounded_store_drop_oldest_policy():
+    sim = Simulator()
+    store = Store(sim, capacity=2, drop_oldest=True)
+    store.put(1)
+    store.put(2)
+    assert store.put(3)
+    assert store.peek_all() == [2, 3]
+    assert store.dropped == 1
+
+
+def test_store_remove_specific_item():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("a")
+    store.put("b")
+    assert store.remove("a")
+    assert not store.remove("missing")
+    assert store.peek_all() == ["b"]

@@ -1,0 +1,165 @@
+"""Tests for the §6 tooling: misuse detection and window estimation."""
+
+import pytest
+
+from repro.common.config import default_config
+from repro.compiler.window import (
+    WindowEstimate,
+    estimate_windows,
+    render_report,
+)
+from repro.core import NvmSystem
+from repro.janus.misuse import diagnose
+from repro.workloads import WORKLOADS, WorkloadParams, make_workload
+from repro.workloads.registry import plan_for
+
+
+def run_system(workload="array_swap", variant="manual", n_txns=8,
+               program=None):
+    cfg = default_config(mode="janus")
+    system = NvmSystem(cfg)
+    if program is not None:
+        system.run_programs([program(system)])
+        return system, None
+    wl = make_workload(workload, system, system.cores[0],
+                       WorkloadParams(n_items=16, value_size=64,
+                                      n_transactions=n_txns),
+                       variant=variant)
+    system.run_programs([wl.run()])
+    return system, wl
+
+
+class TestMisuseDetection:
+    def test_non_janus_system_reports_empty(self):
+        system = NvmSystem(default_config(mode="serialized"))
+        report = diagnose(system)
+        assert report.findings == [] and report.requests == 0
+
+    def test_well_instrumented_workload_is_mostly_clean(self):
+        system, _ = run_system("array_swap", "manual")
+        report = diagnose(system)
+        assert report.waste_ratio < 0.2
+        assert not any(f.kind == "useless" and f.severity == "warn"
+                       for f in report.findings)
+
+    def test_stale_data_misuse_detected(self):
+        def buggy(system):
+            core = system.cores[0]
+            addr = system.heap.alloc_line(64)
+            obj = core.api.pre_init()
+            # Misuse: pre-execute one value...
+            yield from core.api.pre_both(obj, addr, b"\x01" * 64)
+            yield from core.compute(4000)
+            # ...then write a different one.
+            yield from core.store(addr, b"\x02" * 64)
+            yield from core.persist(addr, 64)
+
+        system, _ = run_system(program=buggy)
+        report = diagnose(system)
+        stale = [f for f in report.findings if f.kind == "stale-input"]
+        assert stale and stale[0].severity == "warn"
+        assert "guideline 1" in stale[0].guideline
+
+    def test_useless_preexecution_detected(self):
+        def buggy(system):
+            core = system.cores[0]
+            obj = core.api.pre_init()
+            # Misuse: pre-execute writes that never happen.
+            for i in range(8):
+                addr = system.heap.alloc_line(64)
+                yield from core.api.pre_both(obj, addr,
+                                             bytes([i]) * 64)
+            yield from core.compute(4000)
+
+        system, _ = run_system(program=buggy)
+        report = diagnose(system)
+        useless = [f for f in report.findings if f.kind == "useless"]
+        assert useless
+        assert report.waste_ratio > 0.9
+
+    def test_short_window_detected(self):
+        def rushed(system):
+            core = system.cores[0]
+            addr = system.heap.alloc_line(64)
+            data = b"\x03" * 64
+            obj = core.api.pre_init()
+            # Misuse: pre-execute immediately before the write.
+            yield from core.api.pre_both(obj, addr, data)
+            yield from core.store(addr, data)
+            yield from core.persist(addr, 64)
+
+        system, _ = run_system(program=rushed)
+        report = diagnose(system)
+        short = [f for f in report.findings
+                 if f.kind == "short-window"]
+        assert short and short[0].count >= 1
+        assert "guideline 3" in short[0].guideline
+
+    def test_render_mentions_every_finding(self):
+        system, _ = run_system("tatp", "manual")
+        report = diagnose(system)
+        text = report.render()
+        assert "line-ops issued" in text
+        for finding in report.findings:
+            assert finding.kind in text
+
+
+class TestWindowEstimation:
+    def graph(self):
+        from repro.bmo import build_pipeline
+        return build_pipeline(default_config()).graph
+
+    def test_estimates_exist_for_auto_plan(self):
+        cls = WORKLOADS["array_swap"]
+        estimates = estimate_windows(cls.template(),
+                                     plan_for(cls, "auto"),
+                                     self.graph())
+        assert estimates
+        assert all(isinstance(e, WindowEstimate) for e in estimates)
+
+    def test_early_hooks_have_bigger_windows(self):
+        cls = WORKLOADS["array_swap"]
+        estimates = estimate_windows(cls.template(),
+                                     plan_for(cls, "auto"),
+                                     self.graph())
+        by_hook = {}
+        for estimate in estimates:
+            by_hook.setdefault(estimate.hook, []).append(estimate)
+        if "entry" in by_hook and "after_read" in by_hook:
+            assert max(e.window_ns for e in by_hook["entry"]) >= \
+                max(e.window_ns for e in by_hook["after_read"])
+
+    def test_addr_directives_need_less_than_both(self):
+        cls = WORKLOADS["array_swap"]
+        estimates = estimate_windows(cls.template(),
+                                     plan_for(cls, "auto"),
+                                     self.graph())
+        addr = [e.required_ns for e in estimates if e.kind == "addr"]
+        data = [e.required_ns for e in estimates if e.kind == "data"]
+        assert addr and data
+        # Address-only work (E1-E2, 42 ns) is far below the data side
+        # (MD5-dominated).
+        assert min(addr) < min(data)
+
+    def test_array_swap_main_windows_sufficient(self):
+        cls = WORKLOADS["array_swap"]
+        estimates = estimate_windows(cls.template(),
+                                     plan_for(cls, "auto"),
+                                     self.graph())
+        main = [e for e in estimates if e.obj in ("item_i", "item_j")]
+        assert main
+        assert all(e.sufficient for e in main)
+
+    def test_render_report_shape(self):
+        cls = WORKLOADS["hash_table"]
+        text = render_report(cls.template(), plan_for(cls, "auto"),
+                             self.graph())
+        assert "window estimate" in text
+        assert "windows sufficient" in text
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_every_workload_template_estimable(self, name):
+        cls = WORKLOADS[name]
+        text = render_report(cls.template(), plan_for(cls, "auto"),
+                             self.graph())
+        assert cls.name in text

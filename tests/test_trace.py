@@ -1,0 +1,77 @@
+"""Tests for the per-write latency tracer."""
+
+import pytest
+
+from repro.common.config import default_config
+from repro.core import NvmSystem
+from repro.harness.trace import WriteTracer
+from repro.workloads import WorkloadParams, make_workload
+
+
+def traced_run(mode="serialized", variant="baseline", n_txns=6):
+    system = NvmSystem(default_config(mode=mode))
+    tracer = WriteTracer.attach(system)
+    workload = make_workload(
+        "array_swap", system, system.cores[0],
+        WorkloadParams(n_items=16, value_size=64,
+                       n_transactions=n_txns),
+        variant=variant)
+    system.run_programs([workload.run()])
+    return tracer
+
+
+def test_tracer_records_every_writeback():
+    tracer = traced_run()
+    assert len(tracer) > 0
+    for record in tracer.records:
+        assert record.start_ns <= record.mc_arrival_ns \
+            <= record.bmo_done_ns <= record.persisted_ns
+
+
+def test_serialized_bmo_phase_dominates():
+    tracer = traced_run(mode="serialized")
+    means = tracer.phase_means()
+    assert means["bmo"] > means["transfer"]
+    assert means["bmo"] > 500  # the ~794 ns serial chain
+    assert means["transfer"] == pytest.approx(15.0)
+
+
+def test_janus_run_has_zero_bmo_writes():
+    tracer = traced_run(mode="janus", variant="manual")
+    # Fully pre-executed writes spend ~0 ns in BMOs at the MC.
+    assert tracer.zero_bmo_fraction() > 0.2
+
+
+def test_ideal_mode_charges_no_bmo_time():
+    tracer = traced_run(mode="ideal")
+    assert tracer.phase_means()["bmo"] == pytest.approx(0.0)
+
+
+def test_mode_ordering_visible_in_trace():
+    ser = traced_run(mode="serialized")["bmo"] if False else \
+        traced_run(mode="serialized").phase_means()["bmo"]
+    jan = traced_run(mode="janus", variant="manual").phase_means()["bmo"]
+    assert jan < ser
+
+
+def test_csv_export_roundtrip(tmp_path):
+    tracer = traced_run()
+    path = tmp_path / "trace.csv"
+    text = tracer.to_csv(str(path))
+    lines = text.strip().splitlines()
+    assert lines[0].startswith("thread,line_addr")
+    assert len(lines) == len(tracer) + 1
+    assert path.read_text() == text
+
+
+def test_commit_records_marked_critical():
+    tracer = traced_run()
+    critical = [r for r in tracer.records if r.critical]
+    assert len(critical) == 6  # one commit record per transaction
+
+
+def test_empty_tracer_summary_safe():
+    tracer = WriteTracer()
+    assert tracer.zero_bmo_fraction() == 0.0
+    assert "0 writes traced" in tracer.summary()
+    assert tracer.phase_means()["total"] == 0.0

@@ -1,0 +1,117 @@
+"""Unit tests for undo-log record layout, wrap, and prediction."""
+
+import pytest
+
+from repro.common.config import default_config
+from repro.common.errors import RecoveryError
+from repro.consistency import UndoLog
+from repro.consistency.undo_log import (
+    _BACKUP_MAGIC,
+    _COMMIT_MAGIC,
+    _HEADER,
+    parse_log,
+)
+from repro.core import NvmSystem
+
+
+def make_log(capacity=1 << 14):
+    system = NvmSystem(default_config(mode="serialized"))
+    log = UndoLog(system.cores[0], capacity_bytes=capacity)
+    return system, log
+
+
+def drive(system, gen):
+    proc = system.sim.process(gen)
+    system.sim.run(stop_event=proc)
+    if proc._exc:
+        raise proc._exc
+
+
+class TestRecordLayout:
+    def test_backup_record_round_trips_through_parser(self):
+        system, log = make_log()
+        addr = system.heap.alloc_line(64)
+
+        def prog():
+            yield from system.cores[0].store(addr, b"\x0A" * 64)
+            txn = log.begin()
+            yield from txn.backup(addr, 64)
+            yield from txn.commit()
+
+        drive(system, prog())
+        records = list(parse_log(
+            lambda a: system.volatile.read(a, 64),
+            log.base, log.capacity))
+        kinds = [r[0] for r in records]
+        assert kinds == ["backup", "commit"]
+        _k, txn_id, rec_addr, size, payload = records[0]
+        assert rec_addr == addr and size == 64
+        assert system.volatile.read(payload, 64) == b"\x0A" * 64
+
+    def test_parser_stops_at_unwritten_space(self):
+        system, log = make_log()
+        assert list(parse_log(
+            lambda a: system.volatile.read(a, 64),
+            log.base, log.capacity)) == []
+
+    def test_corrupt_backup_size_raises(self):
+        system, log = make_log()
+        bogus = _HEADER.pack(_BACKUP_MAGIC, 1, 0x40, 0)
+        system.volatile.write(log.base,
+                              bogus.ljust(64, b"\x00"))
+        with pytest.raises(RecoveryError):
+            list(parse_log(lambda a: system.volatile.read(a, 64),
+                           log.base, log.capacity))
+
+
+class TestReserveAndPrediction:
+    def test_records_are_line_aligned(self):
+        _system, log = make_log()
+        a = log._reserve(100)
+        b = log._reserve(64)
+        assert a % 64 == 0 and b % 64 == 0
+        assert b >= a + 128  # 100 B rounded up to two lines
+
+    def test_wrap_resets_to_base(self):
+        _system, log = make_log(capacity=4 * 64)
+        log._reserve(3 * 64)
+        wrapped = log._reserve(2 * 64)
+        assert wrapped == log.base
+
+    def test_prediction_matches_actual_commit_address(self):
+        system, log = make_log()
+        addr = system.heap.alloc_line(256)
+        observed = {}
+
+        def prog():
+            yield from system.cores[0].store(addr, bytes(256))
+            txn = log.begin()
+            predicted = txn.next_commit_record_addr([256, 64])
+            yield from txn.backup(addr, 256)
+            yield from txn.backup(addr, 64)
+            yield from txn.fence_backups()
+            yield from txn.write(addr, b"\x01" * 64)
+            actual = txn.next_commit_record_addr()
+            observed["predicted"] = predicted
+            observed["actual"] = actual
+            yield from txn.commit()
+
+        drive(system, prog())
+        assert observed["predicted"] == observed["actual"]
+
+    def test_prediction_handles_wrap(self):
+        _system, log = make_log(capacity=8 * 64)
+        log._reserve(6 * 64)
+        # A 2-line backup record (64 header + 64 payload) fits, then
+        # the commit record would exceed capacity -> wraps to base.
+        predicted = log.predict_head_after([64])
+        assert predicted == log.base
+
+    def test_commit_record_preview_is_line_sized_and_stable(self):
+        system, log = make_log()
+        txn = log.begin()
+        preview = txn.commit_record_preview()
+        assert len(preview) == 64
+        assert preview == txn.commit_record_preview()
+        magic, txn_id, _a, _s = _HEADER.unpack_from(preview)
+        assert magic == _COMMIT_MAGIC and txn_id == txn.txn_id

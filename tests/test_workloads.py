@@ -1,0 +1,188 @@
+"""Functional tests for the seven workloads."""
+
+import pytest
+
+from repro.common.config import default_config
+from repro.core import NvmSystem
+from repro.workloads import WORKLOADS, WorkloadParams, make_workload
+from repro.workloads.registry import SCALABLE_WORKLOADS, plan_for
+
+
+def run_workload(name, variant="baseline", mode="parallel", n_txns=6,
+                 n_items=16, value_size=64, cores=1, **cfg_overrides):
+    cfg = default_config(mode=mode, cores=cores, **cfg_overrides)
+    system = NvmSystem(cfg)
+    params = WorkloadParams(n_items=n_items, value_size=value_size,
+                            n_transactions=n_txns)
+    workloads = [make_workload(name, system, core, params,
+                               variant=variant)
+                 for core in system.cores]
+    elapsed = system.run_programs([w.run() for w in workloads])
+    return system, workloads, elapsed
+
+
+class TestEachWorkloadRuns:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_baseline_completes_all_transactions(self, name):
+        _system, workloads, elapsed = run_workload(name)
+        assert workloads[0].completed_transactions == 6
+        assert elapsed > 0
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_manual_variant_in_janus_mode(self, name):
+        system, workloads, _ = run_workload(name, variant="manual",
+                                            mode="janus")
+        assert workloads[0].completed_transactions == 6
+        assert system.janus.stats.counters["requests"].value > 0
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_auto_variant_in_janus_mode(self, name):
+        _system, workloads, _ = run_workload(name, variant="auto",
+                                             mode="janus")
+        assert workloads[0].completed_transactions == 6
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_deterministic_given_seed(self, name):
+        _s1, _w1, t1 = run_workload(name, seed=7)
+        _s2, _w2, t2 = run_workload(name, seed=7)
+        assert t1 == t2
+
+
+class TestArraySwap:
+    def test_swap_preserves_multiset_of_items(self):
+        system, (wl,), _ = run_workload("array_swap", n_txns=10)
+        item = wl.params.value_size
+        values = sorted(
+            system.volatile.read(wl.base + i * item, item)
+            for i in range(wl.params.n_items))
+        # Every item is still one of the seeded values (swaps permute).
+        assert len(values) == wl.params.n_items
+
+
+class TestQueue:
+    def test_queue_remains_linked_and_fifo(self):
+        system, (wl,), _ = run_workload("queue", n_txns=12)
+        values = wl.drain_values()
+        assert len(values) == wl._length
+        assert len(set(values)) == len(values)  # distinct blobs
+
+    def test_enqueued_payloads_readable(self):
+        system, (wl,), _ = run_workload("queue", n_txns=8)
+        for blob in wl.drain_values():
+            data = system.volatile.read(blob, wl.params.value_size)
+            assert len(data) == wl.params.value_size
+
+
+class TestHashTable:
+    def test_lookup_returns_latest_value(self):
+        system, (wl,), _ = run_workload("hash_table", n_txns=10)
+        # Every pre-populated key still resolves.
+        found = sum(1 for key in range(wl.params.n_items)
+                    if wl.lookup_value(key))
+        assert found == wl.params.n_items
+
+
+class TestRBTree:
+    def test_invariants_hold_after_inserts(self):
+        _system, (wl,), _ = run_workload("rbtree", n_txns=20, n_items=12)
+        size = wl.validate()
+        assert size >= 12  # seeded keys all present
+
+    def test_inserted_keys_resolvable(self):
+        _system, (wl,), _ = run_workload("rbtree", n_txns=15, n_items=8)
+        hits = sum(1 for key in range(wl.key_space)
+                   if wl.lookup(key) is not None)
+        assert hits == wl.validate()
+
+
+class TestBTree:
+    def test_invariants_hold_after_inserts(self):
+        _system, (wl,), _ = run_workload("btree", n_txns=25, n_items=20)
+        assert wl.validate() >= 20
+
+    def test_splits_happened(self):
+        _system, (wl,), _ = run_workload("btree", n_txns=30, n_items=30)
+        root = wl._vread(wl._root())
+        assert not root["leaf"]  # tree grew beyond one node
+
+    def test_lookup_finds_inserted_keys(self):
+        _system, (wl,), _ = run_workload("btree", n_txns=10, n_items=10)
+        hits = sum(1 for key in range(wl.key_space)
+                   if wl.lookup(key) is not None)
+        assert hits == wl.validate()
+
+
+class TestTatp:
+    def test_records_updated_in_place(self):
+        system, (wl,), _ = run_workload("tatp", n_txns=10)
+        for s_id in range(wl.params.n_items):
+            record = system.volatile.read(wl._record_addr(s_id),
+                                          wl.record_size)
+            assert len(record) == wl.record_size
+
+    def test_deferred_requests_coalesce_in_manual_janus(self):
+        system, (wl,), _ = run_workload("tatp", variant="manual",
+                                        mode="janus", n_txns=10)
+        assert system.janus.request_queue.coalesced > 0
+
+
+class TestTpcc:
+    def test_orders_inserted_sequentially(self):
+        system, (wl,), _ = run_workload("tpcc", n_txns=8)
+        assert wl.orders_inserted == 8
+        for o_id in range(1, 9):
+            record_o_id, _c, _d, ol_cnt = wl.read_order(o_id)
+            assert record_o_id == o_id
+            assert 5 <= ol_cnt <= 15
+
+
+class TestPlans:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_auto_plan_builds_for_every_template(self, name):
+        plan = plan_for(WORKLOADS[name], "auto")
+        assert plan.total_directives() + len(plan.skipped) > 0
+
+    def test_auto_skips_loops_in_queue_rbtree_btree_tpcc(self):
+        for name in ("queue", "rbtree", "btree", "tpcc"):
+            plan = plan_for(WORKLOADS[name], "auto")
+            assert any(reason == "inside loop"
+                       for _obj, reason in plan.skipped), name
+
+    def test_auto_covers_array_swap_fully(self):
+        plan = plan_for(WORKLOADS["array_swap"], "auto")
+        assert plan.skipped == []
+        kinds = {(d.kind, d.obj) for ds in plan.directives.values()
+                 for d in ds}
+        assert ("addr", "item_i") in kinds
+        assert ("data", "item_i") in kinds
+
+    def test_manual_plans_use_runtime_hooks(self):
+        for name in ("rbtree", "btree"):
+            plan = plan_for(WORKLOADS[name], "manual")
+            assert plan.at("update_iter")
+        assert plan_for(WORKLOADS["tpcc"], "manual").at("ol_iter")
+
+    def test_dedup_ratio_roughly_tracks_target(self):
+        system, (wl,), _ = run_workload("array_swap", n_txns=20,
+                                        mode="serialized")
+        dedup = system.pipeline.by_name["dedup"]
+        observed = dedup.observed_ratio()
+        assert 0.2 < observed < 0.9  # near the 0.5 target
+
+
+class TestMultiCore:
+    def test_workloads_run_on_four_cores(self):
+        system, workloads, _ = run_workload("array_swap", cores=4,
+                                            n_txns=4)
+        assert all(w.completed_transactions == 4 for w in workloads)
+        # Each core got its own array region.
+        bases = {w.base for w in workloads}
+        assert len(bases) == 4
+
+
+class TestScalableValueSizes:
+    @pytest.mark.parametrize("name", SCALABLE_WORKLOADS)
+    def test_scaled_transactions_complete(self, name):
+        _system, (wl,), _ = run_workload(name, n_txns=2,
+                                         value_size=512)
+        assert wl.completed_transactions == 2
