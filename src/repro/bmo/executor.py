@@ -21,6 +21,7 @@ from typing import Dict, Iterable, Optional, Set
 from repro.bmo.base import BmoContext
 from repro.bmo.pipeline import BmoPipeline
 from repro.common.errors import SimulationError
+from repro.obs.tracer import NULL_TRACER
 from repro.sim import Resource, Simulator
 from repro.sim.stats import StatSet
 
@@ -30,7 +31,7 @@ class BmoExecutor:
 
     def __init__(self, sim: Simulator, pipeline: BmoPipeline,
                  units: Resource, stats: Optional[StatSet] = None,
-                 pipeline_fraction: float = 0.25):
+                 pipeline_fraction: float = 0.25, tracer=None):
         if not 0.0 < pipeline_fraction <= 1.0:
             raise SimulationError(
                 "pipeline_fraction must be in (0, 1]")
@@ -42,6 +43,7 @@ class BmoExecutor:
         #: interval) while its results appear after the full latency.
         self.pipeline_fraction = pipeline_fraction
         self.stats = stats or StatSet("bmo-executor")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- serialized baseline ---------------------------------------------
     def run_serialized(self, ctx: BmoContext):
@@ -63,6 +65,11 @@ class BmoExecutor:
         self.pipeline.execute_all(ctx)
         self.stats.histogram("serialized_block_ns").observe(
             self.sim.now - start)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "serialized-bmos", "bmo", ("bmo", "serialized"),
+                start_ns=start, dur_ns=self.sim.now - start,
+                args={"addr": ctx.addr})
         return ctx
 
     # -- dataflow execution ------------------------------------------------
@@ -104,18 +111,29 @@ class BmoExecutor:
         waits = [done[d] for d in op.deps if d in done]
         if waits:
             yield self.sim.all_of(waits)
+        ready = self.sim.now  # dependencies satisfied; queueing begins
         if op.latency_ns > 0:
             occupancy = op.latency_ns * self.pipeline_fraction
             yield self.units.acquire()
+            exec_start = self.sim.now
             try:
                 yield self.sim.timeout(occupancy)
             finally:
                 self.units.release()
             yield self.sim.timeout(op.latency_ns - occupancy)
             op.execute(ctx)
+            if self.tracer.enabled:
+                self.tracer.complete(
+                    name, "bmo", ("bmo", op.bmo),
+                    start_ns=exec_start,
+                    dur_ns=self.sim.now - exec_start,
+                    args={"addr": ctx.addr,
+                          "unit_wait_ns": exec_start - ready})
         else:
             op.execute(ctx)
         self.stats.counter("subops_executed").add()
+        self.stats.histogram(f"subop.{name}_ns").observe(
+            self.sim.now - ready)
         done[name].succeed()
 
     # -- pre-execution helpers -----------------------------------------------

@@ -7,8 +7,13 @@ Commands
     List the reproducible tables/figures.
 ``figure <name> [--scale S]``
     Regenerate one table/figure and print it (e.g. ``figure fig9``).
-``run <workload> [--mode M] [--variant V] [--cores N] [--txns T]``
-    Simulate one design point and print timing + stats.
+``run <workload> [--mode M] [--variant V] [--cores N] [--txns T]
+     [--trace T.json] [--stats S.json]``
+    Simulate one design point and print timing + stats.  ``--trace``
+    writes a Chrome trace-event (Perfetto) timeline of the run;
+    ``--stats`` writes a full metrics snapshot.
+``stats <a.json> [<b.json>]``
+    Pretty-print one stats snapshot, or diff two (``b - a``).
 ``compare <workload> [...]``
     Run all four design points for a workload and print speedups.
 ``plan <workload> [--variant V]``
@@ -18,6 +23,7 @@ Commands
 """
 
 import argparse
+import json
 import sys
 
 from repro.harness import experiments
@@ -72,6 +78,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="simulate one design point")
     add_workload_args(run)
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a Perfetto-loadable Chrome trace-event"
+                          " JSON timeline of the run")
+    run.add_argument("--stats", metavar="PATH", default=None,
+                     help="write the full metrics snapshot as JSON")
+
+    stats = sub.add_parser(
+        "stats", help="pretty-print or diff stats snapshots")
+    stats.add_argument("snapshot", help="stats JSON from `run --stats`")
+    stats.add_argument("other", nargs="?", default=None,
+                       help="second snapshot: print the diff "
+                            "(other - snapshot)")
 
     compare = sub.add_parser("compare",
                              help="all four design points")
@@ -116,9 +134,13 @@ def cmd_figure(args) -> int:
 
 
 def cmd_run(args) -> int:
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+        tracer = Tracer(enabled=True)
     result = run_point(args.workload, mode=args.mode,
                        variant=args.variant, cores=args.cores,
-                       params=_params(args))
+                       params=_params(args), tracer=tracer)
     print(f"{result.workload} mode={result.mode} "
           f"variant={result.variant} cores={result.cores}")
     print(f"  elapsed {result.elapsed_ns:,.0f} ns for "
@@ -126,6 +148,56 @@ def cmd_run(args) -> int:
           f"({result.ns_per_transaction:,.0f} ns/txn)")
     for key in sorted(result.stats):
         print(f"  {key:40s} {result.stats[key]:.2f}")
+    if args.trace:
+        from repro.obs import export_chrome_trace
+        export_chrome_trace(tracer, path=args.trace)
+        print(f"  trace: {len(tracer)} events -> {args.trace} "
+              f"(open in ui.perfetto.dev)")
+    if args.stats:
+        with open(args.stats, "w") as handle:
+            json.dump(result.snapshot, handle, indent=2, sort_keys=True)
+        print(f"  stats snapshot -> {args.stats}")
+    return 0
+
+
+def _render_snapshot(snap: dict) -> str:
+    lines = []
+    meta = snap.get("meta", {})
+    if meta:
+        lines.append("  ".join(f"{k}={meta[k]}" for k in sorted(meta)))
+    for name in sorted(snap.get("counters", {})):
+        lines.append(f"  {name:44s} {snap['counters'][name]}")
+    for name in sorted(snap.get("histograms", {})):
+        h = snap["histograms"][name]
+        parts = [f"count={h.get('count', 0)}",
+                 f"mean={h.get('mean', 0.0):.1f}"]
+        if "p95" in h:
+            parts.append(f"p95={h['p95']:.1f}")
+        lines.append(f"  {name:44s} " + " ".join(parts))
+    return "\n".join(lines)
+
+
+def cmd_stats(args) -> int:
+    from repro.obs import MetricsRegistry
+
+    with open(args.snapshot) as handle:
+        first = json.load(handle)
+    if args.other is None:
+        print(_render_snapshot(first))
+        return 0
+    with open(args.other) as handle:
+        second = json.load(handle)
+    delta = MetricsRegistry.delta(first, second)
+    print(f"delta: {args.other} - {args.snapshot}")
+    for name in sorted(delta["counters"]):
+        diff = delta["counters"][name]
+        if diff:
+            print(f"  {name:44s} {diff:+d}")
+    for name in sorted(delta["histograms"]):
+        h = delta["histograms"][name]
+        if h["count"]:
+            print(f"  {name:44s} count={h['count']:+d} "
+                  f"mean-of-new={h['mean']:.1f}")
     return 0
 
 
@@ -182,6 +254,7 @@ COMMANDS = {
     "figures": cmd_figures,
     "figure": cmd_figure,
     "run": cmd_run,
+    "stats": cmd_stats,
     "compare": cmd_compare,
     "plan": cmd_plan,
     "misuse": cmd_misuse,

@@ -16,8 +16,9 @@ from repro.mem.heap import NvmHeap
 from repro.mem.memory import FunctionalMemory, VolatileView
 from repro.mem.nvm_device import NvmDevice
 from repro.mem.write_queue import WriteEntry, WriteQueue
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.sim import Resource, Simulator
-from repro.sim.stats import StatSet
 
 
 class MemoryController:
@@ -38,9 +39,11 @@ class MemoryController:
         self.system = system
         self.sim = system.sim
         self.cfg = system.cfg
-        self.stats = StatSet("memory-controller")
-        #: Optional :class:`repro.harness.trace.WriteTracer`.
-        self.tracer = None
+        self.stats = system.metrics.scope("mc")
+        #: The system-wide span tracer (``repro.obs.tracer.Tracer``).
+        #: Legacy per-write tracing is a sink on it — see
+        #: :class:`repro.harness.trace.WriteTracer`.
+        self.tracer = system.tracer
         # Counter cache (Table 3: 512 KB, shared): on a read miss from
         # the device, a cached counter lets the OTP generation overlap
         # the data fetch (counter-mode's read-latency trick, §2.2);
@@ -130,13 +133,28 @@ class MemoryController:
 
     def _trace(self, thread_id, line_addr, start, mc_arrival,
                bmo_done, persisted, critical) -> None:
-        if self.tracer is None:
+        tracer = self.tracer
+        if not tracer.enabled:
             return
-        from repro.harness.trace import WriteRecord
-        self.tracer.add(WriteRecord(
-            thread_id=thread_id, line_addr=line_addr, start_ns=start,
-            mc_arrival_ns=mc_arrival, bmo_done_ns=bmo_done,
-            persisted_ns=persisted, critical=critical))
+        track = ("write-path", f"core{thread_id}")
+        # The enclosing write span carries the full phase breakdown in
+        # its args — sinks (WriteTracer) reconstruct records from it.
+        tracer.complete(
+            "write", "write", track, start_ns=start,
+            dur_ns=persisted - start,
+            args={"thread_id": thread_id, "line_addr": line_addr,
+                  "mc_arrival_ns": mc_arrival, "bmo_done_ns": bmo_done,
+                  "persisted_ns": persisted, "critical": critical})
+        tracer.complete("transfer", "write-phase", track,
+                        start_ns=start, dur_ns=mc_arrival - start)
+        if bmo_done > mc_arrival:
+            tracer.complete("bmo", "write-phase", track,
+                            start_ns=mc_arrival,
+                            dur_ns=bmo_done - mc_arrival)
+        if persisted > bmo_done:
+            tracer.complete("persist", "write-phase", track,
+                            start_ns=bmo_done,
+                            dur_ns=persisted - bmo_done)
 
     def _run_bmos(self, thread_id: int, line_addr: int, data: bytes):
         system = self.system
@@ -234,7 +252,7 @@ class Core:
             thread_id=core_id,
             transaction_id_provider=lambda: self.current_txn_id,
             issue_cost_ns=2 * self.cfg.core.instruction_ns * 4)
-        self.stats = StatSet(f"core{core_id}")
+        self.stats = system.metrics.scope(f"core{core_id}")
 
     # -- compute ---------------------------------------------------------
     def compute(self, instructions: int):
@@ -298,7 +316,17 @@ class Core:
         """Block until every outstanding writeback is persistent."""
         pending, self._outstanding = self._outstanding, []
         if pending:
+            start = self.sim.now
             yield self.sim.all_of(pending)
+            stall = self.sim.now - start
+            self.stats.histogram("sfence_stall_ns").observe(stall)
+            tracer = self.system.tracer
+            if tracer.enabled and stall > 0:
+                tracer.complete(
+                    "sfence-stall", "core",
+                    ("write-path", f"core{self.core_id}"),
+                    start_ns=start, dur_ns=stall,
+                    args={"writebacks": len(pending)})
         self.stats.counter("fences").add()
 
     def persist(self, addr: int, size: int, critical: bool = False):
@@ -310,15 +338,23 @@ class Core:
 class NvmSystem:
     """The whole machine for one simulation run."""
 
-    def __init__(self, config: SystemConfig):
+    def __init__(self, config: SystemConfig, tracer: Optional[Tracer] = None):
         self.cfg = config.validate()
         self.sim = Simulator()
         self.rng = DeterministicRng(config.seed)
+        #: Unified observability: one registry + one tracer for every
+        #: component.  The tracer starts disabled (near-zero overhead)
+        #: unless an enabled one is injected (CLI ``--trace``).
+        self.metrics = MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
         capacity = config.memory.capacity_bytes
         self.nvm = FunctionalMemory(capacity)
         self.volatile = VolatileView(capacity)
-        self.device = NvmDevice(self.sim, config.memory)
-        self.write_queue = WriteQueue(self.sim, config.memory, self.device)
+        self.device = NvmDevice(self.sim, config.memory,
+                                stats=self.metrics.scope("nvm"))
+        self.write_queue = WriteQueue(self.sim, config.memory, self.device,
+                                      stats=self.metrics.scope("wq"),
+                                      tracer=self.tracer)
 
         # Carve the NVM address space: heap | dedup shadow | metadata.
         shadow_lines = 1 << 14
@@ -339,17 +375,21 @@ class NvmSystem:
                                   name="bmo-units")
         self.executor = BmoExecutor(
             self.sim, self.pipeline, self.bmo_units,
-            pipeline_fraction=config.bmo_unit_pipeline_fraction)
+            stats=self.metrics.scope("bmo"),
+            pipeline_fraction=config.bmo_unit_pipeline_fraction,
+            tracer=self.tracer)
         self.janus: Optional[JanusEngine] = None
         if config.mode == "janus":
             self.janus = JanusEngine(self.sim, self.pipeline,
                                      self.executor, config.janus,
-                                     cores=config.cores)
+                                     cores=config.cores,
+                                     metrics=self.metrics,
+                                     tracer=self.tracer)
         self.controller = MemoryController(self)
         self.heap = NvmHeap(base=CACHE_LINE_BYTES,
                             size=heap_limit - CACHE_LINE_BYTES)
         self.cores = [Core(self, i) for i in range(config.cores)]
-        self.stats = StatSet("system")
+        self.stats = self.metrics.scope("system")
 
     def _copy_nvm_line(self, src: int, dst: int) -> None:
         """Dedup relocation: move ciphertext between device lines."""

@@ -5,6 +5,7 @@ from typing import Dict, Optional
 
 from repro.common.config import SystemConfig, default_config
 from repro.core import NvmSystem
+from repro.obs.tracer import Tracer
 from repro.workloads import WorkloadParams, make_workload
 
 
@@ -19,6 +20,8 @@ class ExperimentResult:
     elapsed_ns: float
     transactions: int
     stats: Dict[str, float] = field(default_factory=dict)
+    #: Full metrics snapshot (``MetricsRegistry.snapshot``) of the run.
+    snapshot: Optional[Dict] = None
 
     @property
     def ns_per_transaction(self) -> float:
@@ -32,18 +35,21 @@ def run_point(workload: str,
               cores: int = 1,
               params: Optional[WorkloadParams] = None,
               config: Optional[SystemConfig] = None,
+              tracer: Optional[Tracer] = None,
               **config_overrides) -> ExperimentResult:
     """Simulate one design point and return its result.
 
     ``variant`` defaults to ``baseline`` for non-Janus modes and
     ``manual`` for Janus mode (the paper's main configuration).
+    Pass an enabled :class:`Tracer` to capture the run's span
+    timeline (export with :func:`repro.obs.export_chrome_trace`).
     """
     if variant is None:
         variant = "manual" if mode == "janus" else "baseline"
     cfg = config if config is not None else default_config()
     cfg = cfg.replace(mode=mode, cores=cores, **config_overrides)
     cfg.validate()
-    system = NvmSystem(cfg)
+    system = NvmSystem(cfg, tracer=tracer)
     params = params or WorkloadParams()
     workloads = [
         make_workload(workload, system, core, params, variant=variant)
@@ -52,20 +58,20 @@ def run_point(workload: str,
     elapsed = system.run_programs([w.run() for w in workloads])
     transactions = sum(w.completed_transactions for w in workloads)
 
-    stats: Dict[str, float] = {}
-    stats.update({f"mc.{k}": v for k, v
-                  in system.controller.stats.as_dict().items()})
-    if system.janus is not None:
-        stats.update({f"janus.{k}": v for k, v
-                      in system.janus.stats.as_dict().items()})
-        stats.update({f"irb.{k}": v for k, v
-                      in system.janus.irb.stats.as_dict().items()})
+    # Flat view for quick access; every registered scope (mc, janus,
+    # irb, bmo, wq, nvm, core*) exports under its dotted path.
+    stats: Dict[str, float] = system.metrics.as_flat_dict()
     dedup = system.pipeline.by_name.get("dedup")
     if dedup is not None:
         stats["dedup.observed_ratio"] = dedup.observed_ratio()
+    snapshot = system.metrics.snapshot(meta={
+        "workload": workload, "mode": mode, "variant": variant,
+        "cores": cores, "elapsed_ns": elapsed,
+        "transactions": transactions})
     return ExperimentResult(
         workload=workload, mode=mode, variant=variant, cores=cores,
-        elapsed_ns=elapsed, transactions=transactions, stats=stats)
+        elapsed_ns=elapsed, transactions=transactions, stats=stats,
+        snapshot=snapshot)
 
 
 def speedup_over(baseline: ExperimentResult,

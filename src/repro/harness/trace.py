@@ -11,6 +11,14 @@ every critical-path writeback is recorded with its phase breakdown:
 The tracer answers the question the paper's Fig. 1 poses — *where does
 the write's critical latency go?* — for live runs, and exports CSV for
 offline analysis.
+
+Since the unified observability layer (:mod:`repro.obs`), this class
+is a thin *consumer* of the system-wide span tracer: ``attach``
+registers a sink on ``system.tracer`` and reconstructs
+:class:`WriteRecord` entries from the memory controller's ``write``
+spans.  The public API (``records``, ``phase_means``, ``to_csv``,
+...) is unchanged; for timelines and sub-operation spans, export the
+span tracer itself via :func:`repro.obs.export_chrome_trace`.
 """
 
 import csv
@@ -66,12 +74,27 @@ class WriteTracer:
 
     @classmethod
     def attach(cls, system) -> "WriteTracer":
+        """Subscribe to ``system``'s span tracer (enabling it)."""
         tracer = cls()
-        system.controller.tracer = tracer
+        system.tracer.add_sink(tracer.on_event)
         return tracer
 
     def add(self, record: WriteRecord) -> None:
         self.records.append(record)
+
+    def on_event(self, event: dict) -> None:
+        """Span-tracer sink: fold ``write`` spans into records."""
+        if event.get("ph") != "X" or event.get("cat") != "write":
+            return
+        args = event.get("args", {})
+        self.add(WriteRecord(
+            thread_id=args["thread_id"],
+            line_addr=args["line_addr"],
+            start_ns=event["ts"],
+            mc_arrival_ns=args["mc_arrival_ns"],
+            bmo_done_ns=args["bmo_done_ns"],
+            persisted_ns=args["persisted_ns"],
+            critical=args["critical"]))
 
     def __len__(self) -> int:
         return len(self.records)

@@ -28,6 +28,7 @@ from repro.janus.queues import (
     PreExecRequestQueue,
     decode_request,
 )
+from repro.obs.tracer import NULL_TRACER
 from repro.sim import Simulator
 from repro.sim.stats import StatSet
 
@@ -37,20 +38,24 @@ class JanusEngine:
 
     def __init__(self, sim: Simulator, pipeline: BmoPipeline,
                  executor: BmoExecutor, config: JanusConfig,
-                 cores: int = 1):
+                 cores: int = 1, metrics=None, tracer=None):
         self.sim = sim
         self.pipeline = pipeline
         self.executor = executor
         self.cfg = config
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.request_queue = PreExecRequestQueue(
             sim, capacity=config.scaled("request_queue_entries") * cores)
         self.operation_queue = PreExecOperationQueue(
             sim, capacity=config.scaled("operation_queue_entries") * cores)
         self.irb = IntermediateResultBuffer(
             sim, capacity=config.scaled("irb_entries") * cores,
-            max_age_ns=config.irb_max_age_ns)
+            max_age_ns=config.irb_max_age_ns,
+            stats=metrics.scope("irb") if metrics is not None else None,
+            tracer=self.tracer)
         self._inflight_ops = 0
-        self.stats = StatSet("janus")
+        self.stats = metrics.scope("janus") if metrics is not None \
+            else StatSet("janus")
         # Subscribe the IRB to metadata-change notifications (§4.3.1).
         for bmo in pipeline.bmos:
             bmo.invalidation_hooks.append(self.irb.on_metadata_change)
@@ -135,8 +140,16 @@ class JanusEngine:
                 self.pipeline.graph.runnable_with(ctx.available_inputs)
                 if name not in ctx.completed]
             if runnable:
+                pre_start = self.sim.now
                 yield from self.executor.run_subops(ctx, runnable)
                 self.stats.counter("subops_pre_executed").add(len(runnable))
+                if self.tracer.enabled:
+                    self.tracer.complete(
+                        "pre-execute", "janus", ("janus", "pre-exec"),
+                        start_ns=pre_start,
+                        dur_ns=self.sim.now - pre_start,
+                        args={"line_addr": entry.line_addr,
+                              "subops": len(runnable)})
             entry.complete = True
             entry.inflight = None
             done_event.succeed()
@@ -165,6 +178,13 @@ class JanusEngine:
             self.stats.counter("inflight_waits").add()
             self.stats.histogram("window_shortfall_ns").observe(
                 self.sim.now - wait_start)
+            if self.tracer.enabled:
+                self.tracer.complete(
+                    "inflight-wait", "janus",
+                    ("write-path", f"core{thread_id}"),
+                    start_ns=wait_start,
+                    dur_ns=self.sim.now - wait_start,
+                    args={"line_addr": line_addr})
         self.irb.consume(entry)
         ctx = entry.ctx
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bmo.base import BmoContext
+from repro.obs.tracer import NULL_TRACER
 from repro.sim import Simulator
 from repro.sim.stats import StatSet
 
@@ -49,13 +50,18 @@ class IrbEntry:
 class IntermediateResultBuffer:
     """Bounded buffer of :class:`IrbEntry` with invalidation logic."""
 
+    #: Trace track shared by all IRB events.
+    TRACK = ("janus", "irb")
+
     def __init__(self, sim: Simulator, capacity: int,
-                 max_age_ns: float = 1_000_000.0):
+                 max_age_ns: float = 1_000_000.0,
+                 stats=None, tracer=None):
         self.sim = sim
         self.capacity = capacity
         self.max_age_ns = max_age_ns
         self._entries: List[IrbEntry] = []
-        self.stats = StatSet("irb")
+        self.stats = stats if stats is not None else StatSet("irb")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -76,10 +82,18 @@ class IntermediateResultBuffer:
             return True
         if len(self._entries) >= self.capacity:
             self.stats.counter("dropped_full").add()
+            if self.tracer.enabled:
+                self.tracer.instant("irb-drop-full", "irb", self.TRACK,
+                                    self.sim.now)
             return False
         entry.created_at = self.sim.now
         self._entries.append(entry)
         self.stats.counter("inserted").add()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "irb-insert", "irb", self.TRACK, self.sim.now,
+                args={"line_addr": entry.line_addr,
+                      "occupancy": len(self._entries)})
         return True
 
     def _find_mergeable(self, entry: IrbEntry) -> Optional[IrbEntry]:
@@ -130,6 +144,11 @@ class IntermediateResultBuffer:
             self.stats.counter("hits").add()
         else:
             self.stats.counter("misses").add()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "irb-hit" if best is not None else "irb-miss", "irb",
+                self.TRACK, self.sim.now,
+                args={"line_addr": line_addr, "thread": thread_id})
         return best
 
     def consume(self, entry: IrbEntry) -> None:
@@ -149,6 +168,10 @@ class IntermediateResultBuffer:
             self._entries.remove(victim)
         if victims:
             self.stats.counter(f"invalidated_{reason}").add(len(victims))
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "irb-invalidate", "irb", self.TRACK, self.sim.now,
+                    args={"reason": reason, "count": len(victims)})
         return len(victims)
 
     def invalidate_line(self, line_addr: int) -> int:

@@ -7,10 +7,11 @@ memory latency inflates — the contention that makes Janus's relative
 benefit shrink at 8 cores (paper §5.2.1, trend 1).
 """
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.common.config import MemoryConfig
 from repro.sim import Resource, Simulator
+from repro.sim.stats import StatSet
 
 
 class NvmDevice:
@@ -22,7 +23,8 @@ class NvmDevice:
     tests and benches can show Start-Gap flattening it.
     """
 
-    def __init__(self, sim: Simulator, config: MemoryConfig):
+    def __init__(self, sim: Simulator, config: MemoryConfig,
+                 stats: Optional[StatSet] = None):
         self.sim = sim
         self.cfg = config
         self._channels = [
@@ -33,6 +35,10 @@ class NvmDevice:
         self.writes = 0
         #: line address -> number of device writes (cell wear).
         self.write_counts: Dict[int, int] = {}
+        self.stats = stats if stats is not None else StatSet("nvm")
+
+    def _count(self, name: str) -> None:
+        self.stats.counter(name).add()
 
     def _channel_for(self, addr: int) -> Resource:
         index = (addr // 64) % len(self._channels)
@@ -41,11 +47,13 @@ class NvmDevice:
     def read_access(self, addr: int):
         """Process: occupy the channel for one line read."""
         self.reads += 1
+        self._count("reads")
         yield from self._channel_for(addr).use(self.cfg.read_service_ns)
 
     def write_access(self, addr: int):
         """Process: occupy the channel for one line write."""
         self.writes += 1
+        self._count("writes")
         self.write_counts[addr] = self.write_counts.get(addr, 0) + 1
         yield from self._channel_for(addr).use(self.cfg.write_service_ns)
 

@@ -18,7 +18,9 @@ from typing import Callable, List, Optional
 
 from repro.common.config import MemoryConfig
 from repro.mem.nvm_device import NvmDevice
+from repro.obs.tracer import NULL_TRACER
 from repro.sim import Resource, Simulator
+from repro.sim.stats import StatSet
 
 
 @dataclass
@@ -31,13 +33,16 @@ class WriteEntry:
     #: memory controller uses it to land ciphertext in functional NVM.
     on_drain: Optional[Callable[["WriteEntry"], None]] = None
     metadata: dict = field(default_factory=dict)
+    accepted_at: float = 0.0
 
 
 class WriteQueue:
     """Bounded persist-domain queue with a background drain process."""
 
+    TRACK = ("mem", "write-queue")
+
     def __init__(self, sim: Simulator, config: MemoryConfig,
-                 device: NvmDevice):
+                 device: NvmDevice, stats=None, tracer=None):
         self.sim = sim
         self.device = device
         self._slots = Resource(sim, capacity=config.write_queue_entries,
@@ -47,6 +52,8 @@ class WriteQueue:
         self._idle_waiters: List = []
         #: Entries accepted (durable under ADR) but not yet drained.
         self._pending: List[WriteEntry] = []
+        self.stats = stats if stats is not None else StatSet("wq")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def accept(self, entry: WriteEntry):
         """Process: block until a slot is free, then persist ``entry``.
@@ -54,9 +61,20 @@ class WriteQueue:
         Returns once the entry is durably in the persist domain; the
         device write continues in the background.
         """
+        arrival = self.sim.now
         yield self._slots.acquire()
         self.accepted += 1
+        self.stats.counter("accepted").add()
+        self.stats.histogram("occupancy").observe(self.outstanding)
+        if arrival < self.sim.now:
+            # Back-pressure: the queue was full and this write stalled.
+            self.stats.histogram("full_stall_ns").observe(
+                self.sim.now - arrival)
+        entry.accepted_at = self.sim.now
         self._pending.append(entry)
+        if self.tracer.enabled:
+            self.tracer.counter("wq-occupancy", self.TRACK, self.sim.now,
+                                {"outstanding": self.outstanding})
         self.sim.process(self._drain(entry), name="wq-drain")
 
     def _drain(self, entry: WriteEntry):
@@ -67,6 +85,18 @@ class WriteQueue:
                 if entry.on_drain is not None:
                     entry.on_drain(entry)
             self.drained += 1
+            self.stats.counter("drained").add()
+            self.stats.histogram("residency_ns").observe(
+                self.sim.now - entry.accepted_at)
+            if self.tracer.enabled:
+                self.tracer.complete(
+                    "wq-residency", "mem", self.TRACK,
+                    start_ns=entry.accepted_at,
+                    dur_ns=self.sim.now - entry.accepted_at,
+                    args={"addr": entry.addr})
+                self.tracer.counter(
+                    "wq-occupancy", self.TRACK, self.sim.now,
+                    {"outstanding": self.outstanding - 1})
         finally:
             self._slots.release()
             if self.outstanding == 0:

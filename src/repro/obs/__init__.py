@@ -1,0 +1,31 @@
+"""Unified observability: metrics registry, span tracer, trace export.
+
+* :mod:`repro.obs.metrics` — hierarchical :class:`MetricsRegistry` of
+  labeled counters and reservoir-sampled histograms, with snapshots,
+  snapshot deltas, and JSON/CSV export;
+* :mod:`repro.obs.tracer` — structured span/event :class:`Tracer`
+  with a no-op :data:`NULL_TRACER` for near-zero disabled overhead;
+* :mod:`repro.obs.chrome_trace` — Chrome trace-event (Perfetto) JSON
+  exporter, the live-run analogue of the paper's Fig. 3 timeline.
+"""
+
+from repro.obs.chrome_trace import export_chrome_trace, to_chrome_trace
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    MetricsScope,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsScope",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "export_chrome_trace",
+    "to_chrome_trace",
+]

@@ -1,0 +1,145 @@
+"""Structured span/event tracing with near-zero disabled overhead.
+
+The simulator's components hold a reference to one :class:`Tracer`
+(or the shared :data:`NULL_TRACER`).  Hot paths guard every emission
+with a single attribute lookup::
+
+    if self.tracer.enabled:
+        self.tracer.complete("aes", "bmo", ("bmo", "encryption"),
+                             start_ns=t0, dur_ns=now - t0)
+
+Events are stored as plain dicts in a normalized, Chrome-trace-like
+shape with **nanosecond** timestamps::
+
+    {"name": ..., "cat": ..., "ph": "X" | "i" | "C",
+     "ts": <ns>, "dur": <ns, "X" only>,
+     "track": (<process name>, <thread name>), "args": {...}}
+
+``track`` identifies the timeline row: a ``(process, thread)`` pair of
+human-readable names.  ``repro.obs.chrome_trace`` maps tracks to the
+integer ``pid``/``tid`` the Chrome trace-event format wants and emits
+the matching metadata records, so the same events open directly in
+``ui.perfetto.dev``.
+
+Sinks (``add_sink``) observe every event as it is emitted — that is
+how the legacy ``repro.harness.trace.WriteTracer`` consumes write
+spans without owning its own instrumentation.
+"""
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+Track = Tuple[str, str]
+
+
+class NullTracer:
+    """The disabled tracer: every emission is a no-op.
+
+    ``enabled`` is a plain class attribute, so the hot-path guard
+    ``if tracer.enabled:`` costs one attribute lookup and no call.
+    """
+
+    enabled = False
+    events: List[dict] = []  # always empty; shared intentionally
+
+    def enable(self) -> None:  # pragma: no cover - defensive
+        raise RuntimeError(
+            "NULL_TRACER is shared and cannot be enabled; construct a "
+            "Tracer() and install it on the system instead")
+
+    def complete(self, *args, **kwargs) -> None:
+        pass
+
+    def instant(self, *args, **kwargs) -> None:
+        pass
+
+    def counter(self, *args, **kwargs) -> None:
+        pass
+
+    def add_sink(self, sink) -> None:  # pragma: no cover - defensive
+        raise RuntimeError("cannot attach a sink to NULL_TRACER")
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared disabled tracer — the default for every component.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects normalized span/instant/counter events.
+
+    A tracer starts *disabled*; flip it on with :meth:`enable` (the
+    CLI does this when ``--trace`` is given, ``WriteTracer.attach``
+    does it for the legacy API).  Sinks receive every event dict as it
+    is emitted, even ones filtered from storage by ``store=False``.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.events: List[dict] = []
+        self._sinks: List[Callable[[dict], None]] = []
+
+    # -- lifecycle ------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def add_sink(self, sink: Callable[[dict], None]) -> None:
+        self._sinks.append(sink)
+        self.enabled = True
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- emission -------------------------------------------------------
+    def _emit(self, event: dict) -> None:
+        self.events.append(event)
+        for sink in self._sinks:
+            sink(event)
+
+    def complete(self, name: str, cat: str, track: Track,
+                 start_ns: float, dur_ns: float,
+                 args: Optional[Dict] = None) -> None:
+        """A span: work named ``name`` occupied ``track`` for
+        ``[start_ns, start_ns + dur_ns)``."""
+        if not self.enabled:
+            return
+        event = {"name": name, "cat": cat, "ph": "X",
+                 "ts": start_ns, "dur": dur_ns, "track": track}
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def instant(self, name: str, cat: str, track: Track, ts_ns: float,
+                args: Optional[Dict] = None) -> None:
+        """A zero-duration marker (IRB hit/miss, invalidation, ...)."""
+        if not self.enabled:
+            return
+        event = {"name": name, "cat": cat, "ph": "i",
+                 "ts": ts_ns, "track": track}
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def counter(self, name: str, track: Track, ts_ns: float,
+                values: Dict[str, float]) -> None:
+        """A sampled counter series (write-queue occupancy, ...)."""
+        if not self.enabled:
+            return
+        self._emit({"name": name, "cat": "counter", "ph": "C",
+                    "ts": ts_ns, "track": track, "args": dict(values)})
+
+    # -- queries --------------------------------------------------------
+    def spans(self, cat: Optional[str] = None,
+              name: Optional[str] = None) -> List[dict]:
+        """Stored complete ("X") events, optionally filtered."""
+        return [e for e in self.events
+                if e["ph"] == "X"
+                and (cat is None or e["cat"] == cat)
+                and (name is None or e["name"] == name)]

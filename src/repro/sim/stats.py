@@ -1,91 +1,21 @@
-"""Lightweight statistics collection for simulator components."""
+"""Legacy statistics API, now backed by :mod:`repro.obs.metrics`.
 
-import math
-from typing import Dict, List
+``Counter``/``Histogram``/``StatSet`` remain importable from here for
+backward compatibility, but they are the observability layer's types:
+histograms are bounded (reservoir sampling) and a ``StatSet`` is just
+a :class:`repro.obs.metrics.MetricsScope` that is not attached to any
+registry.  New code should register scopes on the system-wide
+``MetricsRegistry`` instead (see ``NvmSystem.metrics``).
+"""
 
-
-class Counter:
-    """A named monotonically-increasing counter."""
-
-    def __init__(self, name: str):
-        self.name = name
-        self.value = 0
-
-    def add(self, amount: int = 1) -> None:
-        self.value += amount
-
-    def __repr__(self) -> str:
-        return f"{self.name}={self.value}"
+from repro.obs.metrics import Counter, Histogram, MetricsScope
 
 
-class Histogram:
-    """Streaming mean/min/max/percentile-ish summary of samples."""
-
-    def __init__(self, name: str, keep_samples: bool = True):
-        self.name = name
-        self.count = 0
-        self.total = 0.0
-        self.min = math.inf
-        self.max = -math.inf
-        self._samples: List[float] = [] if keep_samples else None
-
-    def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-        if self._samples is not None:
-            self._samples.append(value)
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def percentile(self, p: float) -> float:
-        """Linear-interpolated percentile (requires kept samples)."""
-        if not self._samples:
-            return 0.0
-        data = sorted(self._samples)
-        if len(data) == 1:
-            return data[0]
-        rank = (p / 100.0) * (len(data) - 1)
-        lo = int(math.floor(rank))
-        hi = min(lo + 1, len(data) - 1)
-        frac = rank - lo
-        return data[lo] * (1 - frac) + data[hi] * frac
-
-    def summary(self) -> Dict[str, float]:
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
-        }
-
-
-class StatSet:
-    """A namespaced bag of counters and histograms."""
+class StatSet(MetricsScope):
+    """A free-standing, registry-less metrics scope (legacy name)."""
 
     def __init__(self, name: str = "stats"):
-        self.name = name
-        self.counters: Dict[str, Counter] = {}
-        self.histograms: Dict[str, Histogram] = {}
+        super().__init__(name=name, registry=None)
 
-    def counter(self, name: str) -> Counter:
-        if name not in self.counters:
-            self.counters[name] = Counter(name)
-        return self.counters[name]
 
-    def histogram(self, name: str) -> Histogram:
-        if name not in self.histograms:
-            self.histograms[name] = Histogram(name)
-        return self.histograms[name]
-
-    def as_dict(self) -> Dict[str, float]:
-        out: Dict[str, float] = {}
-        for name, counter in self.counters.items():
-            out[name] = counter.value
-        for name, hist in self.histograms.items():
-            out[f"{name}.mean"] = hist.mean
-            out[f"{name}.count"] = hist.count
-        return out
+__all__ = ["Counter", "Histogram", "StatSet"]
