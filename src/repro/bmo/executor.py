@@ -44,6 +44,14 @@ class BmoExecutor:
         self.pipeline_fraction = pipeline_fraction
         self.stats = stats or StatSet("bmo-executor")
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Hot metric handles: resolved once, not per sub-operation.
+        self._c_subops_executed = self.stats.counter("subops_executed")
+        self._c_pre_exec_requests = \
+            self.stats.counter("pre_exec_requests")
+        self._c_stale_rerun = self.stats.counter("stale_subops_rerun")
+        self._h_serialized_block = \
+            self.stats.histogram("serialized_block_ns")
+        self._h_subop: Dict[str, object] = {}
 
     # -- serialized baseline ---------------------------------------------
     def run_serialized(self, ctx: BmoContext):
@@ -63,8 +71,7 @@ class BmoExecutor:
             self.units.release()
         yield self.sim.timeout(latency * (1.0 - self.pipeline_fraction))
         self.pipeline.execute_all(ctx)
-        self.stats.histogram("serialized_block_ns").observe(
-            self.sim.now - start)
+        self._h_serialized_block.observe(self.sim.now - start)
         if self.tracer.enabled:
             self.tracer.complete(
                 "serialized-bmos", "bmo", ("bmo", "serialized"),
@@ -131,9 +138,12 @@ class BmoExecutor:
                           "unit_wait_ns": exec_start - ready})
         else:
             op.execute(ctx)
-        self.stats.counter("subops_executed").add()
-        self.stats.histogram(f"subop.{name}_ns").observe(
-            self.sim.now - ready)
+        self._c_subops_executed.add()
+        hist = self._h_subop.get(name)
+        if hist is None:
+            hist = self._h_subop[name] = \
+                self.stats.histogram(f"subop.{name}_ns")
+        hist.observe(self.sim.now - ready)
         done[name].succeed()
 
     # -- pre-execution helpers -----------------------------------------------
@@ -144,7 +154,7 @@ class BmoExecutor:
     def run_pre_execution(self, ctx: BmoContext):
         """Process: run everything the context's inputs allow."""
         runnable = self.pre_executable(ctx)
-        self.stats.counter("pre_exec_requests").add()
+        self._c_pre_exec_requests.add()
         yield from self.run_subops(ctx, runnable)
         return ctx
 
@@ -160,7 +170,7 @@ class BmoExecutor:
         while True:
             stale = self.pipeline.stale_subops(ctx)
             if stale:
-                self.stats.counter("stale_subops_rerun").add(len(stale))
+                self._c_stale_rerun.add(len(stale))
                 self.pipeline.invalidate(ctx, stale)
             remaining = [n for n in self.pipeline.graph.topological_order
                          if n not in ctx.completed]

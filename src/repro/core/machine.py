@@ -40,6 +40,18 @@ class MemoryController:
         self.sim = system.sim
         self.cfg = system.cfg
         self.stats = system.metrics.scope("mc")
+        # Hot metric handles: resolved once, not per writeback.
+        self._c_writebacks = self.stats.counter("writebacks")
+        self._h_critical_write = \
+            self.stats.histogram("critical_write_ns")
+        self._c_cc_hits = self.stats.counter("counter_cache_hits")
+        self._c_cc_misses = self.stats.counter("counter_cache_misses")
+        self._c_writes_persisted = self.stats.counter("writes_persisted")
+        self._c_metadata_lazy = self.stats.counter("metadata_lazy")
+        self._c_metadata_atomic_waits = \
+            self.stats.counter("metadata_atomic_waits")
+        self._c_dedup_cancelled = \
+            self.stats.counter("writes_cancelled_by_dedup")
         #: The system-wide span tracer (``repro.obs.tracer.Tracer``).
         #: Legacy per-write tracing is a sink on it — see
         #: :class:`repro.harness.trace.WriteTracer`.
@@ -75,17 +87,17 @@ class MemoryController:
         hit = self._counter_cache.access(
             (line_addr // CACHE_LINE_BYTES) * 16)
         if hit:
-            self.stats.counter("counter_cache_hits").add()
+            self._c_cc_hits.add()
             return 0.0 if streamed else lat.xor_ns
-        self.stats.counter("counter_cache_misses").add()
+        self._c_cc_misses.add()
         if streamed:
             return self.cfg.core.stream_line_ns
         return self.cfg.memory.read_service_ns + lat.aes_ns \
             + lat.xor_ns
 
     def counter_cache_hit_rate(self) -> float:
-        hits = self.stats.counter("counter_cache_hits").value
-        misses = self.stats.counter("counter_cache_misses").value
+        hits = self._c_cc_hits.value
+        misses = self._c_cc_misses.value
         total = hits + misses
         return hits / total if total else 0.0
 
@@ -98,7 +110,7 @@ class MemoryController:
         observed by the next ``sfence`` — waits for.
         """
         system = self.system
-        self.stats.counter("writebacks").add()
+        self._c_writebacks.add()
         start = self.sim.now
         # Cache hierarchy -> memory controller transfer (~15 ns).
         yield self.sim.timeout(self.cfg.cache.writeback_ns)
@@ -117,8 +129,7 @@ class MemoryController:
                                       critical, wait_for=previous),
                 name="ideal-bg")
             self._ideal_line_chains[line_addr] = proc
-            self.stats.histogram("critical_write_ns").observe(
-                self.sim.now - start)
+            self._h_critical_write.observe(self.sim.now - start)
             self._trace(thread_id, line_addr, start, mc_arrival,
                         mc_arrival, self.sim.now, critical)
             return
@@ -126,8 +137,7 @@ class MemoryController:
         ctx = yield from self._run_bmos(thread_id, line_addr, data)
         bmo_done = self.sim.now
         yield from self._persist(ctx, critical)
-        self.stats.histogram("critical_write_ns").observe(
-            self.sim.now - start)
+        self._h_critical_write.observe(self.sim.now - start)
         self._trace(thread_id, line_addr, start, mc_arrival, bmo_done,
                     self.sim.now, critical)
 
@@ -202,7 +212,7 @@ class MemoryController:
             accepts.append(self.sim.process(
                 system.write_queue.accept(entry), name="accept-data"))
         else:
-            self.stats.counter("writes_cancelled_by_dedup").add()
+            self._c_dedup_cancelled.add()
         for i in range(action.metadata_lines):
             wait_for_meta = critical or \
                 not self.cfg.selective_metadata_atomicity
@@ -211,7 +221,7 @@ class MemoryController:
                 # metadata updates; they reach the device lazily on
                 # eviction, off both the critical path and the write
                 # queue (selective counter-atomicity, §4.3).
-                self.stats.counter("metadata_lazy").add()
+                self._c_metadata_lazy.add()
                 continue
             meta_addr = self._metadata_line_for(ctx.addr, i)
             meta_entry = WriteEntry(addr=meta_addr,
@@ -220,10 +230,10 @@ class MemoryController:
             proc = self.sim.process(system.write_queue.accept(meta_entry),
                                     name="accept-meta")
             accepts.append(proc)
-            self.stats.counter("metadata_atomic_waits").add()
+            self._c_metadata_atomic_waits.add()
         if accepts:
             yield self.sim.all_of(accepts)
-        self.stats.counter("writes_persisted").add()
+        self._c_writes_persisted.add()
 
     def _metadata_line_for(self, addr: int, index: int) -> int:
         line = (addr // CACHE_LINE_BYTES + index) % \
@@ -253,6 +263,12 @@ class Core:
             transaction_id_provider=lambda: self.current_txn_id,
             issue_cost_ns=2 * self.cfg.core.instruction_ns * 4)
         self.stats = system.metrics.scope(f"core{core_id}")
+        # Hot metric handles: resolved once, not per load/store/fence.
+        self._c_reads = self.stats.counter("reads")
+        self._c_stores = self.stats.counter("stores")
+        self._c_clwbs = self.stats.counter("clwbs")
+        self._c_fences = self.stats.counter("fences")
+        self._h_sfence_stall = self.stats.histogram("sfence_stall_ns")
 
     # -- compute ---------------------------------------------------------
     def compute(self, instructions: int):
@@ -287,14 +303,14 @@ class Core:
         """Process: load ``size`` bytes; returns them."""
         yield self.sim.timeout(self._access_latency(addr, size,
                                                     is_read=True))
-        self.stats.counter("reads").add()
+        self._c_reads.add()
         return self.system.volatile.read(addr, size)
 
     def store(self, addr: int, data: bytes):
         """Process: store ``data``; volatile until written back."""
         yield self.sim.timeout(self._access_latency(addr, len(data)))
         self.system.volatile.write(addr, data)
-        self.stats.counter("stores").add()
+        self._c_stores.add()
 
     # -- persistence primitives ----------------------------------------------
     def clwb(self, addr: int, size: int, critical: bool = False):
@@ -309,7 +325,7 @@ class Core:
                     self.core_id, line, critical=critical),
                 name=f"clwb:{line:#x}")
             self._outstanding.append(proc)
-            self.stats.counter("clwbs").add()
+            self._c_clwbs.add()
         yield self.sim.timeout(self.cfg.core.instruction_ns)
 
     def sfence(self):
@@ -319,7 +335,7 @@ class Core:
             start = self.sim.now
             yield self.sim.all_of(pending)
             stall = self.sim.now - start
-            self.stats.histogram("sfence_stall_ns").observe(stall)
+            self._h_sfence_stall.observe(stall)
             tracer = self.system.tracer
             if tracer.enabled and stall > 0:
                 tracer.complete(
@@ -327,7 +343,7 @@ class Core:
                     ("write-path", f"core{self.core_id}"),
                     start_ns=start, dur_ns=stall,
                     args={"writebacks": len(pending)})
-        self.stats.counter("fences").add()
+        self._c_fences.add()
 
     def persist(self, addr: int, size: int, critical: bool = False):
         """clwb + sfence convenience."""

@@ -14,8 +14,6 @@
   stale sub-operations, and returns a commit-ready context.
 """
 
-from typing import Optional, Tuple
-
 from repro.bmo.base import BmoContext, ExternalInput
 from repro.bmo.executor import BmoExecutor
 from repro.bmo.pipeline import BmoPipeline
@@ -56,6 +54,21 @@ class JanusEngine:
         self._inflight_ops = 0
         self.stats = metrics.scope("janus") if metrics is not None \
             else StatSet("janus")
+        # Hot metric handles: one registry lookup at construction
+        # instead of a string-keyed dict probe per write/admit.
+        self._c_requests = self.stats.counter("requests")
+        self._c_ops_admitted = self.stats.counter("ops_admitted")
+        self._c_ops_dropped_full = self.stats.counter("ops_dropped_full")
+        self._c_subops_pre_executed = \
+            self.stats.counter("subops_pre_executed")
+        self._c_inflight_waits = self.stats.counter("inflight_waits")
+        self._h_window_shortfall = \
+            self.stats.histogram("window_shortfall_ns")
+        self._c_data_mismatches = self.stats.counter("data_mismatches")
+        self._c_fully_pre_executed = \
+            self.stats.counter("fully_pre_executed")
+        self._c_partially_pre_executed = \
+            self.stats.counter("partially_pre_executed")
         # Subscribe the IRB to metadata-change notifications (§4.3.1).
         for bmo in pipeline.bmos:
             bmo.invalidation_hooks.append(self.irb.on_metadata_change)
@@ -63,7 +76,7 @@ class JanusEngine:
     # -- software-facing entry points (via JanusInterface) ---------------
     def submit(self, request: PreExecRequest) -> None:
         """Step 1: enqueue a request and pump the pipeline."""
-        self.stats.counter("requests").add()
+        self._c_requests.add()
         self.request_queue.submit(request)
         self._pump()
 
@@ -93,9 +106,8 @@ class JanusEngine:
     def _admit(self, op: PreExecOperation) -> None:
         capacity = self.operation_queue._store.capacity
         if capacity is not None and self._inflight_ops >= capacity:
-            self.stats.counter("ops_dropped_full").add()
+            self._c_ops_dropped_full.add()
             return
-        self.stats.counter("ops_admitted").add()
         entry = IrbEntry(
             pre_id=op.pre_id, thread_id=op.thread_id,
             transaction_id=op.transaction_id,
@@ -103,27 +115,14 @@ class JanusEngine:
             ctx=self.pipeline.make_context(addr=op.line_addr,
                                            data=op.line_data),
             data_seq=op.data_seq)
-        if not self.irb.insert(entry):
-            return  # IRB full: drop (performance-only loss)
-        # ``insert`` may have merged into an existing entry; find the
-        # entry that now owns this line's context.
-        target = self._owning_entry(entry)
+        # ``insert`` returns the entry that owns this line's context —
+        # the new entry, or the existing one it merged into.
+        target = self.irb.insert(entry)
         if target is None:
-            return
+            return  # IRB full: drop (performance-only loss)
+        self._c_ops_admitted.add()
         self._inflight_ops += 1
         self.sim.process(self._pre_execute(target), name="janus-preexec")
-
-    def _owning_entry(self, entry: IrbEntry) -> Optional[IrbEntry]:
-        for candidate in self.irb.entries():
-            if candidate is entry:
-                return candidate
-            if candidate.key() == entry.key() and (
-                    candidate.line_addr == entry.line_addr
-                    or (candidate.line_addr is not None
-                        and entry.line_addr is None
-                        and candidate.data_seq == entry.data_seq)):
-                return candidate
-        return None
 
     # -- step 3/4: optimized BMO logic + IRB fill ----------------------------
     def _pre_execute(self, entry: IrbEntry):
@@ -142,7 +141,7 @@ class JanusEngine:
             if runnable:
                 pre_start = self.sim.now
                 yield from self.executor.run_subops(ctx, runnable)
-                self.stats.counter("subops_pre_executed").add(len(runnable))
+                self._c_subops_pre_executed.add(len(runnable))
                 if self.tracer.enabled:
                     self.tracer.complete(
                         "pre-execute", "janus", ("janus", "pre-exec"),
@@ -175,9 +174,8 @@ class JanusEngine:
             # 3).  Record the shortfall for the misuse detector.
             wait_start = self.sim.now
             yield entry.inflight
-            self.stats.counter("inflight_waits").add()
-            self.stats.histogram("window_shortfall_ns").observe(
-                self.sim.now - wait_start)
+            self._c_inflight_waits.add()
+            self._h_window_shortfall.observe(self.sim.now - wait_start)
             if self.tracer.enabled:
                 self.tracer.complete(
                     "inflight-wait", "janus",
@@ -191,7 +189,7 @@ class JanusEngine:
         if entry.data is not None and entry.data != data:
             # Stale data copy (§4.3.1 cause 1): every data-dependent
             # result must be recomputed with the fresh bytes.
-            self.stats.counter("data_mismatches").add()
+            self._c_data_mismatches.add()
             graph = self.pipeline.graph
             data_dependent = {
                 name for name in ctx.completed
@@ -203,8 +201,8 @@ class JanusEngine:
         fully = (not self.pipeline.stale_subops(ctx)
                  and set(ctx.completed) == set(self.pipeline.graph.subops))
         if fully:
-            self.stats.counter("fully_pre_executed").add()
+            self._c_fully_pre_executed.add()
         else:
-            self.stats.counter("partially_pre_executed").add()
+            self._c_partially_pre_executed.add()
         yield from self.executor.refresh_and_complete(ctx)
         return ctx, fully

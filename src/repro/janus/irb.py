@@ -13,6 +13,27 @@ contract (§3.2, §4.3.1):
 3. bounded capacity: newer insertions are dropped when full (§4.3.2);
 4. entries age out, and a terminating thread's entries are cleared
    (§4.6).
+
+Every operation on the write critical path is index-backed instead of
+scanning the buffer (the hardware analogue is a CAM; see
+``docs/performance.md``):
+
+* ``_order`` — insertion-ordered dict of resident entries.  Because
+  simulation time is monotone, insertion order *is* ``created_at``
+  order, so aging pops expired entries from the front in O(expired).
+* ``_by_key`` — ``key() -> entries`` for O(bucket) merge lookup.
+* ``_by_thread_line`` — ``(thread_id, line_addr) -> entries`` so an
+  arriving write's address match is a single dict probe.
+* ``_data_only`` — per-thread address-less entries for the byte-compare
+  fallback match.
+* ``_by_line`` / ``_by_thread`` — invalidation indexes for
+  ``invalidate_line`` and ``clear_thread``.
+
+The inner ``Dict[IrbEntry, None]`` buckets are insertion-ordered sets
+with O(1) add/remove (``IrbEntry`` hashes by identity).  A
+linear-scan reference implementation with identical semantics is kept
+in :mod:`repro.janus.irb_linear` for the equivalence property test and
+the ``repro bench`` microbenchmark.
 """
 
 from dataclasses import dataclass, field
@@ -24,9 +45,13 @@ from repro.sim import Simulator
 from repro.sim.stats import StatSet
 
 
-@dataclass
+@dataclass(eq=False)
 class IrbEntry:
-    """One line-granularity pre-execution result."""
+    """One line-granularity pre-execution result.
+
+    Entries compare (and hash) by identity: two buffer slots holding
+    equal field values are still distinct slots.
+    """
 
     pre_id: int
     thread_id: int
@@ -39,7 +64,7 @@ class IrbEntry:
     #: Complete bit: all sub-ops runnable with the entry's inputs done.
     complete: bool = False
     #: Event that fires when in-flight pre-execution finishes.
-    inflight = None
+    inflight: Optional[object] = field(default=None, repr=False)
     #: For address-less data entries: ordinal within the request.
     data_seq: int = 0
 
@@ -47,8 +72,12 @@ class IrbEntry:
         return (self.thread_id, self.pre_id, self.transaction_id)
 
 
+#: An insertion-ordered set of entries (dict keys, values unused).
+_EntrySet = Dict[IrbEntry, None]
+
+
 class IntermediateResultBuffer:
-    """Bounded buffer of :class:`IrbEntry` with invalidation logic."""
+    """Bounded, fully indexed buffer of :class:`IrbEntry`."""
 
     #: Trace track shared by all IRB events.
     TRACK = ("janus", "irb")
@@ -59,47 +88,96 @@ class IntermediateResultBuffer:
         self.sim = sim
         self.capacity = capacity
         self.max_age_ns = max_age_ns
-        self._entries: List[IrbEntry] = []
         self.stats = stats if stats is not None else StatSet("irb")
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # -- indexes (see module docstring) --
+        self._order: _EntrySet = {}
+        self._by_key: Dict[Tuple[int, int, int], _EntrySet] = {}
+        self._by_thread_line: Dict[Tuple[int, int], _EntrySet] = {}
+        self._data_only: Dict[int, _EntrySet] = {}
+        self._by_line: Dict[int, _EntrySet] = {}
+        self._by_thread: Dict[int, _EntrySet] = {}
+        # -- hot metric handles: resolved once, not per write --
+        self._c_inserted = self.stats.counter("inserted")
+        self._c_merged = self.stats.counter("merged")
+        self._c_dropped_full = self.stats.counter("dropped_full")
+        self._c_hits = self.stats.counter("hits")
+        self._c_misses = self.stats.counter("misses")
+        self._c_consumed = self.stats.counter("consumed")
+        self._c_expired = self.stats.counter("expired")
+        self._c_invalidated: Dict[str, object] = {}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._order)
+
+    # -- index maintenance ---------------------------------------------
+    def _link(self, entry: IrbEntry) -> None:
+        self._order[entry] = None
+        self._by_key.setdefault(entry.key(), {})[entry] = None
+        self._by_thread.setdefault(entry.thread_id, {})[entry] = None
+        if entry.line_addr is not None:
+            self._by_thread_line.setdefault(
+                (entry.thread_id, entry.line_addr), {})[entry] = None
+            self._by_line.setdefault(entry.line_addr, {})[entry] = None
+        else:
+            self._data_only.setdefault(entry.thread_id, {})[entry] = None
+
+    def _unlink(self, entry: IrbEntry) -> None:
+        del self._order[entry]
+        self._drop_from(self._by_key, entry.key(), entry)
+        self._drop_from(self._by_thread, entry.thread_id, entry)
+        if entry.line_addr is not None:
+            self._drop_from(self._by_thread_line,
+                            (entry.thread_id, entry.line_addr), entry)
+            self._drop_from(self._by_line, entry.line_addr, entry)
+        else:
+            self._drop_from(self._data_only, entry.thread_id, entry)
+
+    @staticmethod
+    def _drop_from(index: Dict, key, entry: IrbEntry) -> None:
+        bucket = index.get(key)
+        if bucket is not None and entry in bucket:
+            del bucket[entry]
+            if not bucket:
+                del index[key]
 
     # -- insertion ------------------------------------------------------
-    def insert(self, entry: IrbEntry) -> bool:
-        """Add an entry; returns False (dropped) when full.
+    def insert(self, entry: IrbEntry) -> Optional[IrbEntry]:
+        """Add an entry; returns the entry that now owns its results.
 
         An entry with the same key and line address *merges* instead —
         that is how a ``PRE_ADDR`` and a ``PRE_DATA`` of the same
-        ``pre_obj`` combine their results.
+        ``pre_obj`` combine their results — in which case the existing
+        (merged-into) entry is returned.  Returns ``None`` when the
+        buffer is full and the entry was dropped (§4.3.2).
         """
         self._expire_old()
         existing = self._find_mergeable(entry)
         if existing is not None:
             self._merge(existing, entry)
-            self.stats.counter("merged").add()
-            return True
-        if len(self._entries) >= self.capacity:
-            self.stats.counter("dropped_full").add()
+            self._c_merged.add()
+            return existing
+        if len(self._order) >= self.capacity:
+            self._c_dropped_full.add()
             if self.tracer.enabled:
                 self.tracer.instant("irb-drop-full", "irb", self.TRACK,
                                     self.sim.now)
-            return False
+            return None
         entry.created_at = self.sim.now
-        self._entries.append(entry)
-        self.stats.counter("inserted").add()
+        self._link(entry)
+        self._c_inserted.add()
         if self.tracer.enabled:
             self.tracer.instant(
                 "irb-insert", "irb", self.TRACK, self.sim.now,
                 args={"line_addr": entry.line_addr,
-                      "occupancy": len(self._entries)})
-        return True
+                      "occupancy": len(self._order)})
+        return entry
 
     def _find_mergeable(self, entry: IrbEntry) -> Optional[IrbEntry]:
-        for existing in self._entries:
-            if existing.key() != entry.key():
-                continue
+        bucket = self._by_key.get(entry.key())
+        if not bucket:
+            return None
+        for existing in bucket:
             if (existing.line_addr is not None
                     and entry.line_addr is not None):
                 if existing.line_addr == entry.line_addr:
@@ -110,11 +188,17 @@ class IntermediateResultBuffer:
                 return existing
         return None
 
-    @staticmethod
-    def _merge(existing: IrbEntry, incoming: IrbEntry) -> None:
+    def _merge(self, existing: IrbEntry, incoming: IrbEntry) -> None:
         existing.ctx.merge_from(incoming.ctx)
-        if existing.line_addr is None:
+        if existing.line_addr is None and incoming.line_addr is not None:
+            # The entry gains its address: move it from the data-only
+            # index to the address indexes.
+            self._drop_from(self._data_only, existing.thread_id, existing)
             existing.line_addr = incoming.line_addr
+            self._by_thread_line.setdefault(
+                (existing.thread_id, existing.line_addr), {})[existing] = None
+            self._by_line.setdefault(
+                existing.line_addr, {})[existing] = None
         if existing.data is None:
             existing.data = incoming.data
         existing.complete = False  # more work may now be runnable
@@ -124,26 +208,29 @@ class IntermediateResultBuffer:
                     data: bytes) -> Optional[IrbEntry]:
         """Find the pre-execution result for an arriving write access.
 
-        Primary key is the physical line address (paper step 5); an
+        Primary key is the physical line address (paper step 5): an
+        address match always beats an address-less data-only match.
+        Within each class, the most-recently-created entry wins; an
         address-less data-only entry of the same thread matches by
-        byte comparison.  Most-recently-created entry wins.
+        byte comparison only when no address match exists.
         """
         self._expire_old()
         best: Optional[IrbEntry] = None
-        for entry in self._entries:
-            if entry.thread_id != thread_id:
-                continue
-            if entry.line_addr is not None:
-                if entry.line_addr == line_addr:
-                    if best is None or entry.created_at >= best.created_at:
-                        best = entry
-            elif entry.data is not None and entry.data == data:
-                if best is None:
-                    best = entry
-        if best is not None:
-            self.stats.counter("hits").add()
+        bucket = self._by_thread_line.get((thread_id, line_addr))
+        if bucket:
+            # Insertion order is created_at order: last is newest.
+            best = next(reversed(bucket))
         else:
-            self.stats.counter("misses").add()
+            data_bucket = self._data_only.get(thread_id)
+            if data_bucket:
+                for entry in reversed(data_bucket):
+                    if entry.data is not None and entry.data == data:
+                        best = entry
+                        break
+        if best is not None:
+            self._c_hits.add()
+        else:
+            self._c_misses.add()
         if self.tracer.enabled:
             self.tracer.instant(
                 "irb-hit" if best is not None else "irb-miss", "irb",
@@ -153,32 +240,42 @@ class IntermediateResultBuffer:
 
     def consume(self, entry: IrbEntry) -> None:
         """Remove an entry whose results were used by a write."""
-        try:
-            self._entries.remove(entry)
-            self.stats.counter("consumed").add()
-        except ValueError:
-            pass
+        if entry in self._order:
+            self._unlink(entry)
+            self._c_consumed.add()
 
     # -- invalidation ------------------------------------------------------
-    def invalidate_where(self, predicate: Callable[[IrbEntry], bool],
-                         reason: str = "predicate") -> int:
-        """Drop entries matching ``predicate``; returns the count."""
-        victims = [e for e in self._entries if predicate(e)]
+    def _invalidate(self, victims: List[IrbEntry], reason: str) -> int:
         for victim in victims:
-            self._entries.remove(victim)
+            self._unlink(victim)
         if victims:
-            self.stats.counter(f"invalidated_{reason}").add(len(victims))
+            counter = self._c_invalidated.get(reason)
+            if counter is None:
+                counter = self.stats.counter(f"invalidated_{reason}")
+                self._c_invalidated[reason] = counter
+            counter.add(len(victims))
             if self.tracer.enabled:
                 self.tracer.instant(
                     "irb-invalidate", "irb", self.TRACK, self.sim.now,
                     args={"reason": reason, "count": len(victims)})
         return len(victims)
 
+    def invalidate_where(self, predicate: Callable[[IrbEntry], bool],
+                         reason: str = "predicate") -> int:
+        """Drop entries matching ``predicate``; returns the count.
+
+        Generic slow path (full scan) — rare events only.  The hot
+        invalidation causes have dedicated index-backed entry points
+        (:meth:`invalidate_line`, :meth:`clear_thread`).
+        """
+        return self._invalidate(
+            [e for e in self._order if predicate(e)], reason)
+
     def invalidate_line(self, line_addr: int) -> int:
         """A store to ``line_addr`` happened outside this entry's
         write (cache-line sharing / buggy program, §4.3.1 cause 1)."""
-        return self.invalidate_where(
-            lambda e: e.line_addr == line_addr, reason="line")
+        bucket = self._by_line.get(line_addr)
+        return self._invalidate(list(bucket) if bucket else [], "line")
 
     def invalidate_range(self, lo: int, hi: int) -> int:
         """Memory swap: clear entries in the swapped range (§4.6)."""
@@ -188,8 +285,9 @@ class IntermediateResultBuffer:
 
     def clear_thread(self, thread_id: int) -> int:
         """Thread termination clears its entries (§4.6)."""
-        return self.invalidate_where(
-            lambda e: e.thread_id == thread_id, reason="thread_exit")
+        bucket = self._by_thread.get(thread_id)
+        return self._invalidate(list(bucket) if bucket else [],
+                                "thread_exit")
 
     def on_metadata_change(self, bmo_name: str, details: dict) -> None:
         """Invalidation hook the BMOs call when shared metadata moves
@@ -205,14 +303,20 @@ class IntermediateResultBuffer:
 
     # -- aging ----------------------------------------------------------------
     def _expire_old(self) -> None:
-        if self.max_age_ns is None:
+        if self.max_age_ns is None or not self._order:
             return
         cutoff = self.sim.now - self.max_age_ns
-        expired = [e for e in self._entries if e.created_at < cutoff]
-        for entry in expired:
-            self._entries.remove(entry)
+        expired = 0
+        # ``_order`` is created_at-ordered (time is monotone), so the
+        # oldest entry is always first: stop at the first survivor.
+        while self._order:
+            entry = next(iter(self._order))
+            if entry.created_at >= cutoff:
+                break
+            self._unlink(entry)
+            expired += 1
         if expired:
-            self.stats.counter("expired").add(len(expired))
+            self._c_expired.add(expired)
 
     def entries(self) -> List[IrbEntry]:
-        return list(self._entries)
+        return list(self._order)

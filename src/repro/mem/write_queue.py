@@ -54,6 +54,12 @@ class WriteQueue:
         self._pending: List[WriteEntry] = []
         self.stats = stats if stats is not None else StatSet("wq")
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Hot metric handles: resolved once, not per accepted write.
+        self._c_accepted = self.stats.counter("accepted")
+        self._c_drained = self.stats.counter("drained")
+        self._h_occupancy = self.stats.histogram("occupancy")
+        self._h_full_stall = self.stats.histogram("full_stall_ns")
+        self._h_residency = self.stats.histogram("residency_ns")
 
     def accept(self, entry: WriteEntry):
         """Process: block until a slot is free, then persist ``entry``.
@@ -64,12 +70,11 @@ class WriteQueue:
         arrival = self.sim.now
         yield self._slots.acquire()
         self.accepted += 1
-        self.stats.counter("accepted").add()
-        self.stats.histogram("occupancy").observe(self.outstanding)
+        self._c_accepted.add()
+        self._h_occupancy.observe(self.outstanding)
         if arrival < self.sim.now:
             # Back-pressure: the queue was full and this write stalled.
-            self.stats.histogram("full_stall_ns").observe(
-                self.sim.now - arrival)
+            self._h_full_stall.observe(self.sim.now - arrival)
         entry.accepted_at = self.sim.now
         self._pending.append(entry)
         if self.tracer.enabled:
@@ -85,9 +90,8 @@ class WriteQueue:
                 if entry.on_drain is not None:
                     entry.on_drain(entry)
             self.drained += 1
-            self.stats.counter("drained").add()
-            self.stats.histogram("residency_ns").observe(
-                self.sim.now - entry.accepted_at)
+            self._c_drained.add()
+            self._h_residency.observe(self.sim.now - entry.accepted_at)
             if self.tracer.enabled:
                 self.tracer.complete(
                     "wq-residency", "mem", self.TRACK,

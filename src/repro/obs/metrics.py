@@ -13,6 +13,13 @@ call sites and tests keep working.
 Histograms use *bounded reservoir sampling* (Algorithm R, seeded from
 ``repro.common.rng`` by metric name) so arbitrarily long runs keep a
 constant memory footprint while ``percentile()`` stays available.
+
+Hot-path convention: ``scope.counter(name)`` / ``scope.histogram(name)``
+are get-or-create lookups keyed by string — cheap, but not free when
+called once per simulated write.  Components on the write critical
+path resolve their handles **once at construction** (``self._c_hits =
+stats.counter("hits")``) and call ``.add()`` / ``.observe()`` on the
+cached handle; see ``docs/performance.md``.
 """
 
 import csv
@@ -64,6 +71,9 @@ class Histogram:
     :meth:`percentile` returns ``None`` (not ``0.0``) so callers
     cannot silently misread "samples were discarded" as a latency.
     """
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max",
+                 "reservoir_size", "_samples", "_rng")
 
     def __init__(self, name: str, keep_samples: bool = True,
                  reservoir_size: int = DEFAULT_RESERVOIR_SIZE,

@@ -46,7 +46,7 @@ class SimEvent:
         if self.triggered and not self._callbacks:
             # Already dispatched (or dispatching): call on next tick so
             # late waiters still resume.
-            self.sim._schedule_now(lambda: fn(self))
+            self.sim._schedule_now(fn, self)
         else:
             self._callbacks.append(fn)
 
@@ -73,6 +73,11 @@ class Timeout(SimEvent):
         sim._schedule(delay, self._fire, value)
 
     def _fire(self, value: Any) -> None:
+        if self.triggered:
+            # Someone called succeed()/fail() on this timeout while it
+            # was pending; firing again would double-trigger silently.
+            raise SimulationError(
+                f"event {self.name!r} already triggered")
         self.triggered = True
         self.value = value
         self._dispatch()
@@ -122,7 +127,7 @@ class Process(SimEvent):
                  gen: Generator[SimEvent, Any, Any], name: str = ""):
         super().__init__(sim, name=name or getattr(gen, "__name__", "proc"))
         self._gen = gen
-        sim._schedule_now(lambda: self._step(None, None))
+        sim._schedule_now(self._step, None, None)
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         try:
@@ -160,14 +165,24 @@ class Simulator:
         self._heap: List = []
         self._seq = 0
         self._finished = False
+        #: Callbacks dispatched so far (one per resumed process step,
+        #: event dispatch, or fired timeout) — the denominator of the
+        #: bench harness's events/sec throughput metric.
+        self.events: int = 0
 
     # -- scheduling ----------------------------------------------------
     def _schedule(self, delay: float, fn: Callable, *args) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
 
     def _schedule_now(self, fn: Callable, *args) -> None:
-        self._schedule(0.0, fn, *args)
+        # Hot path: called for every process step and event dispatch.
+        # Pushing at ``self.now`` directly skips the negative-delay
+        # check and float add in :meth:`_schedule`.
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now, self._seq, fn, args))
 
     # -- public factory helpers ----------------------------------------
     def event(self, name: str = "") -> SimEvent:
@@ -191,19 +206,27 @@ class Simulator:
             stop_event: Optional[SimEvent] = None) -> float:
         """Drain events until the heap empties, ``until`` is reached,
         or ``stop_event`` triggers.  Returns the final simulation time.
+
+        When the heap drains before ``until`` and the run was *not*
+        ended by ``stop_event``, the clock advances to ``until`` — the
+        same result whether or not a (never-triggered) ``stop_event``
+        was passed.
         """
-        while self._heap:
+        heap = self._heap
+        while heap:
             if stop_event is not None and stop_event.triggered:
                 break
-            time, _seq, fn, args = self._heap[0]
+            time, _seq, fn, args = heap[0]
             if until is not None and time > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._heap)
+            heapq.heappop(heap)
             if time < self.now:
                 raise SimulationError("time went backwards")
             self.now = time
+            self.events += 1
             fn(*args)
-        if until is not None and not self._heap:
-            self.now = max(self.now, until) if stop_event is None else self.now
+        stopped = stop_event is not None and stop_event.triggered
+        if until is not None and not heap and not stopped:
+            self.now = max(self.now, until)
         return self.now

@@ -152,6 +152,44 @@ def test_irb_capacity_limits_pre_execution():
     assert engine.irb.stats.counters["dropped_full"].value == 2
 
 
+def test_irb_full_drops_are_not_counted_as_admitted():
+    """ops_admitted must count only operations that actually landed in
+    the IRB — a full-IRB drop used to be double-counted as both
+    admitted and dropped."""
+    sim, cfg, pipeline, engine = make_engine()
+    engine.irb.capacity = 2
+    for i in range(5):
+        submit_both(engine, 0x1000 + 64 * i, line(i), pre_id=i + 1)
+    sim.run()
+    admitted = engine.stats.counters["ops_admitted"].value
+    dropped = engine.irb.stats.counters["dropped_full"].value
+    assert admitted == 2
+    assert dropped == 3
+    landed = (engine.irb.stats.counters["inserted"].value
+              + engine.irb.stats.counters["merged"].value)
+    assert admitted == landed
+
+
+def test_admit_pre_executes_the_merged_entry():
+    """insert() returns the owning (possibly merged-into) entry and
+    _admit must pre-execute that one, not the discarded duplicate."""
+    sim, cfg, pipeline, engine = make_engine()
+    api = JanusInterface(sim, engine, thread_id=0)
+    obj = api.pre_init()
+
+    def prog():
+        yield from api.pre_data(obj, line(4))
+        yield from api.pre_addr(obj, 0x3000, 64)
+        yield sim.timeout(2000)
+
+    sim.process(prog())
+    sim.run()
+    entries = engine.irb.entries()
+    assert len(entries) == 1
+    assert entries[0].complete
+    assert entries[0].inflight is None
+
+
 def test_metadata_change_invalidation_end_to_end():
     sim, cfg, pipeline, engine = make_engine()
     # Two lines pre-executed with the same value: second one is a dup

@@ -138,6 +138,74 @@ def test_entries_age_out():
     assert irb.stats.counters["expired"].value == 1
 
 
+def test_data_only_match_most_recent_wins():
+    """Docstring semantics: most-recently-created entry wins — the old
+    scan took the *first* data-only match found instead."""
+    sim, irb = make_irb(capacity=8)
+    first = entry(pre_id=1, addr=None, data=b"\x05" * 64)
+    irb.insert(first)
+
+    def later():
+        yield sim.timeout(10)
+        second = entry(pre_id=2, addr=None, data=b"\x05" * 64)
+        irb.insert(second)
+
+    sim.process(later())
+    sim.run()
+    match = irb.match_write(0, 0x4000, b"\x05" * 64)
+    assert match is not None and match.pre_id == 2
+
+
+def test_address_match_beats_data_only_match():
+    """An address match is the primary key (paper step 5): it must win
+    over a byte-compare data-only match regardless of age."""
+    sim, irb = make_irb(capacity=8)
+    payload = b"\x06" * 64
+    addressed = entry(pre_id=1, addr=0x1000, data=payload)
+    irb.insert(addressed)
+
+    def later():
+        yield sim.timeout(10)
+        data_only = entry(pre_id=2, addr=None, data=payload)
+        irb.insert(data_only)
+
+    sim.process(later())
+    sim.run()
+    # The data-only entry is newer, but the write's address matches
+    # the older entry: address wins.
+    match = irb.match_write(0, 0x1000, payload)
+    assert match is addressed
+
+
+def test_insert_returns_owning_entry():
+    sim, irb = make_irb()
+    fresh = entry(pre_id=5, addr=64, data=None)
+    assert irb.insert(fresh) is fresh
+    merging = entry(pre_id=5, addr=64, data=b"\x01" * 64)
+    assert irb.insert(merging) is fresh  # merged into the existing one
+
+
+def test_insert_returns_none_when_full():
+    sim, irb = make_irb(capacity=1)
+    assert irb.insert(entry(pre_id=1, addr=0)) is not None
+    assert irb.insert(entry(pre_id=2, addr=64)) is None
+
+
+def test_merge_gaining_address_moves_entry_to_address_index():
+    sim, irb = make_irb()
+    payload = b"\x07" * 64
+    data_only = entry(pre_id=9, addr=None, data=payload)
+    irb.insert(data_only)
+    addr_side = entry(pre_id=9, addr=0x2000, data=None)
+    owner = irb.insert(addr_side)
+    assert owner is data_only and owner.line_addr == 0x2000
+    # Matched by address now, and invalidated by line like any
+    # addressed entry.
+    assert irb.match_write(0, 0x2000, b"") is data_only
+    assert irb.invalidate_line(0x2000) == 1
+    assert len(irb) == 0
+
+
 def test_most_recent_entry_wins_on_duplicate_addr():
     sim, irb = make_irb(capacity=8)
     first = entry(pre_id=1, addr=0)

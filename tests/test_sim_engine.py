@@ -213,3 +213,82 @@ def test_run_with_stop_event():
     sim.process(proc())
     sim.run(stop_event=stop)
     assert sim.now <= 6
+
+
+def test_run_until_with_untriggered_stop_event_advances_clock():
+    """A stop_event that never fires must not change run(until=...)
+    semantics: the clock still advances to `until` when the heap
+    drains early."""
+    def make():
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(5)
+
+        sim.process(proc())
+        return sim
+
+    plain = make()
+    plain.run(until=30)
+    with_stop = make()
+    with_stop.run(until=30, stop_event=with_stop.event("never"))
+    assert plain.now == with_stop.now == 30
+
+
+def test_run_until_with_triggered_stop_event_keeps_stop_time():
+    sim = Simulator()
+    stop = sim.event()
+
+    def proc():
+        yield sim.timeout(5)
+        stop.succeed()
+        yield sim.timeout(100)
+
+    sim.process(proc())
+    sim.run(until=300, stop_event=stop)
+    assert sim.now <= 6
+
+
+def test_schedule_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim._schedule(-0.5, lambda: None)
+
+
+def test_timeout_succeeded_early_raises_on_fire():
+    """succeed() racing a pending timeout must raise, not silently
+    double-trigger the event when the timer later fires."""
+    sim = Simulator()
+    timer = sim.timeout(5)
+    timer.succeed("early")
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_all_of_over_already_failed_child():
+    sim = Simulator()
+    child = sim.event("doomed")
+    child.fail(ValueError("pre-failed"))
+    caught = []
+
+    def parent():
+        try:
+            yield sim.all_of([child])
+        except ValueError as err:
+            caught.append(str(err))
+
+    sim.process(parent())
+    sim.run()
+    assert caught == ["pre-failed"]
+
+
+def test_events_counter_tracks_dispatches():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1)
+        yield sim.timeout(1)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.events > 0
