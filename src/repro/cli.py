@@ -288,7 +288,11 @@ def cmd_bench(args) -> int:
 
     baseline = None
     if args.compare == "auto":
-        baseline_path = bench.find_baseline(directory, exclude=out)
+        # Exclude ``out`` only when this run will overwrite it: with
+        # --no-write a committed baseline that happens to share
+        # today's date must still be eligible.
+        baseline_path = bench.find_baseline(
+            directory, exclude=None if args.no_write else out)
     elif args.compare == "none":
         baseline_path = None
     else:

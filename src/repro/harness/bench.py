@@ -51,27 +51,37 @@ DEFAULT_MIN_IRB_SPEEDUP = 2.0
 
 
 # -- calibration ---------------------------------------------------------
-def calibrate(target_s: float = 0.05) -> float:
+def calibrate(target_s: float = 0.05, repeats: int = 3) -> float:
     """Score this host: iterations/sec of a fixed dict-churn loop.
 
     The loop exercises the same primitive operations the simulator
     leans on (dict insert/lookup/delete, integer arithmetic), so the
     score tracks how fast this host runs *this kind* of Python.
+
+    Best of ``repeats``: transient load only ever slows the loop
+    down, so the fastest sample is the most faithful estimate of the
+    host's steady speed.  A single sample can be depressed by a
+    scheduler stall, which skews every normalised events/sec number
+    derived from the report.
     """
     n = 10_000
-    while True:
-        start = time.perf_counter()
-        table: Dict[int, int] = {}
-        acc = 0
-        for i in range(n):
-            table[i & 1023] = i
-            acc += table.get((i * 7) & 1023, 0)
-            if i & 2047 == 0:
-                table.clear()
-        elapsed = time.perf_counter() - start
-        if elapsed >= target_s:
-            return n / elapsed
-        n *= 4
+    best = 0.0
+    for _ in range(repeats):
+        while True:
+            start = time.perf_counter()
+            table: Dict[int, int] = {}
+            acc = 0
+            for i in range(n):
+                table[i & 1023] = i
+                acc += table.get((i * 7) & 1023, 0)
+                if i & 2047 == 0:
+                    table.clear()
+            elapsed = time.perf_counter() - start
+            if elapsed >= target_s:
+                break
+            n *= 4
+        best = max(best, n / elapsed)
+    return best
 
 
 # -- workload benches ----------------------------------------------------
@@ -204,7 +214,9 @@ def run_bench(quick: bool = False, seed: int = 0,
     """Run the whole suite and return a ``repro-bench-v1`` report."""
     names = list(workloads) if workloads else sorted(WORKLOADS)
     txns = 6 if quick else 24
-    repeats = 1 if quick else 2
+    # Quick runs are short enough that a single sample is noisy on
+    # shared CI runners; best-of-2 keeps the regression gate stable.
+    repeats = 2
     per_workload: Dict[str, Dict] = {}
     for name in names:
         per_workload[name] = bench_workload(name, txns=txns,

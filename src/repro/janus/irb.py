@@ -23,7 +23,10 @@ scanning the buffer (the hardware analogue is a CAM; see
   order, so aging pops expired entries from the front in O(expired).
 * ``_by_key`` — ``key() -> entries`` for O(bucket) merge lookup.
 * ``_by_thread_line`` — ``(thread_id, line_addr) -> entries`` so an
-  arriving write's address match is a single dict probe.
+  arriving write's address match is a dict probe plus a scan of the
+  (tiny) bucket, picking the highest ``link_seq`` — merges can append
+  older entries to a bucket, so bucket order alone is not creation
+  order.
 * ``_data_only`` — per-thread address-less entries for the byte-compare
   fallback match.
 * ``_by_line`` / ``_by_thread`` — invalidation indexes for
@@ -67,6 +70,10 @@ class IrbEntry:
     inflight: Optional[object] = field(default=None, repr=False)
     #: For address-less data entries: ordinal within the request.
     data_seq: int = 0
+    #: Insertion rank assigned by the indexed buffer at link time —
+    #: the entry's position in the linear reference's list.  A merge
+    #: re-files an entry under new index keys but never changes it.
+    link_seq: int = field(default=0, repr=False)
 
     def key(self) -> Tuple[int, int, int]:
         return (self.thread_id, self.pre_id, self.transaction_id)
@@ -97,6 +104,8 @@ class IntermediateResultBuffer:
         self._data_only: Dict[int, _EntrySet] = {}
         self._by_line: Dict[int, _EntrySet] = {}
         self._by_thread: Dict[int, _EntrySet] = {}
+        #: Monotone link counter backing ``IrbEntry.link_seq``.
+        self._link_seq = 0
         # -- hot metric handles: resolved once, not per write --
         self._c_inserted = self.stats.counter("inserted")
         self._c_merged = self.stats.counter("merged")
@@ -112,6 +121,8 @@ class IntermediateResultBuffer:
 
     # -- index maintenance ---------------------------------------------
     def _link(self, entry: IrbEntry) -> None:
+        self._link_seq += 1
+        entry.link_seq = self._link_seq
         self._order[entry] = None
         self._by_key.setdefault(entry.key(), {})[entry] = None
         self._by_thread.setdefault(entry.thread_id, {})[entry] = None
@@ -218,8 +229,16 @@ class IntermediateResultBuffer:
         best: Optional[IrbEntry] = None
         bucket = self._by_thread_line.get((thread_id, line_addr))
         if bucket:
-            # Insertion order is created_at order: last is newest.
-            best = next(reversed(bucket))
+            # Bucket order is NOT creation order: a data-only entry
+            # that gains its address via _merge is appended here after
+            # younger entries while keeping its older created_at.
+            # link_seq is the linear reference's list position, in
+            # which created_at is nondecreasing — so the highest rank
+            # is the newest entry, ties broken by insertion order
+            # exactly as the reference scan does.  Buckets are small.
+            for candidate in bucket:
+                if best is None or candidate.link_seq > best.link_seq:
+                    best = candidate
         else:
             data_bucket = self._data_only.get(thread_id)
             if data_bucket:

@@ -74,10 +74,12 @@ class Timeout(SimEvent):
 
     def _fire(self, value: Any) -> None:
         if self.triggered:
-            # Someone called succeed()/fail() on this timeout while it
-            # was pending; firing again would double-trigger silently.
-            raise SimulationError(
-                f"event {self.name!r} already triggered")
+            # succeed()/fail() completed this timeout while it was
+            # pending (early wake).  The waiters were already resumed
+            # with that result; dispatching again would double-trigger
+            # them, so the scheduled firing becomes a no-op.  A second
+            # succeed()/fail() still raises via SimEvent.
+            return
         self.triggered = True
         self.value = value
         self._dispatch()

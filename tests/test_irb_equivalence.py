@@ -33,14 +33,14 @@ def canon(irb):
     return sorted(canon_entry(e) for e in irb.entries())
 
 
-def random_entry(rng, now):
-    has_addr = rng.random() < 0.7
+def random_entry(rng, lines=LINES, pre_ids=6, txns=2, addr_p=0.7):
+    has_addr = rng.random() < addr_p
     has_data = rng.random() < 0.6 or not has_addr
     return IrbEntry(
-        pre_id=rng.randrange(6),
+        pre_id=rng.randrange(pre_ids),
         thread_id=rng.choice(THREADS),
-        transaction_id=rng.randrange(2),
-        line_addr=rng.choice(LINES) if has_addr else None,
+        transaction_id=rng.randrange(txns),
+        line_addr=rng.choice(lines) if has_addr else None,
         data=rng.choice(PAYLOADS) if has_data else None,
         data_seq=rng.randrange(2))
 
@@ -53,9 +53,9 @@ def clone(entry):
         data_seq=entry.data_seq)
 
 
-@pytest.mark.parametrize("seed", range(6))
-def test_indexed_irb_equivalent_to_linear_reference(seed):
-    rng = DeterministicRng(0).stream(f"irb-equivalence:{seed}")
+def _run_equivalence(stream_name, lines=LINES, pre_ids=6, txns=2,
+                     addr_p=0.7):
+    rng = DeterministicRng(0).stream(stream_name)
     sim_a, sim_b = Simulator(), Simulator()
     indexed = IntermediateResultBuffer(sim_a, capacity=10,
                                        max_age_ns=500.0)
@@ -69,7 +69,8 @@ def test_indexed_irb_equivalent_to_linear_reference(seed):
 
         roll = rng.random()
         if roll < 0.45:
-            entry = random_entry(rng, sim_a.now)
+            entry = random_entry(rng, lines=lines, pre_ids=pre_ids,
+                                 txns=txns, addr_p=addr_p)
             got_a = indexed.insert(entry)
             got_b = linear.insert(clone(entry))
             assert (got_a is None) == (got_b is None), step
@@ -77,7 +78,7 @@ def test_indexed_irb_equivalent_to_linear_reference(seed):
                 assert canon_entry(got_a) == canon_entry(got_b), step
         elif roll < 0.70:
             thread = rng.choice(THREADS)
-            line = rng.choice(LINES)
+            line = rng.choice(lines)
             data = rng.choice(PAYLOADS)
             got_a = indexed.match_write(thread, line, data)
             got_b = linear.match_write(thread, line, data)
@@ -93,7 +94,7 @@ def test_indexed_irb_equivalent_to_linear_reference(seed):
                 indexed.consume(resident_a[index])
                 linear.consume(resident_b[index])
         elif roll < 0.88:
-            line = rng.choice(LINES)
+            line = rng.choice(lines)
             assert indexed.invalidate_line(line) == \
                 linear.invalidate_line(line), step
         elif roll < 0.94:
@@ -101,7 +102,7 @@ def test_indexed_irb_equivalent_to_linear_reference(seed):
             assert indexed.clear_thread(thread) == \
                 linear.clear_thread(thread), step
         else:
-            lo = rng.choice(LINES)
+            lo = rng.choice(lines)
             hi = lo + 64 * rng.randrange(1, 4)
             assert indexed.invalidate_range(lo, hi) == \
                 linear.invalidate_range(lo, hi), step
@@ -109,6 +110,20 @@ def test_indexed_irb_equivalent_to_linear_reference(seed):
         assert len(indexed) == len(linear), step
         assert canon(indexed) == canon(linear), step
         assert indexed.stats.as_dict() == linear.stats.as_dict(), step
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_indexed_irb_equivalent_to_linear_reference(seed):
+    _run_equivalence(f"irb-equivalence:{seed}")
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_indexed_irb_equivalent_merge_heavy(seed):
+    """Tiny key space and many address-less entries → frequent merges,
+    including data-only entries gaining addresses — the bucket-reorder
+    sequence behind the match_write most-recent-wins regression."""
+    _run_equivalence(f"irb-equivalence-merge:{seed}",
+                     lines=LINES[:4], pre_ids=3, txns=1, addr_p=0.55)
 
 
 def test_equivalence_streams_are_deterministic():

@@ -2,6 +2,7 @@
 
 from repro.bmo.base import BmoContext
 from repro.janus.irb import IntermediateResultBuffer, IrbEntry
+from repro.janus.irb_linear import LinearScanIrb
 from repro.sim import Simulator
 
 
@@ -204,6 +205,66 @@ def test_merge_gaining_address_moves_entry_to_address_index():
     assert irb.match_write(0, 0x2000, b"") is data_only
     assert irb.invalidate_line(0x2000) == 1
     assert len(irb) == 0
+
+
+def _drive_merge_reorder(irb, sim, merge_at):
+    """data-only pre_id=1 at t=0, addressed pre_id=2 at t=5, then
+    pre_id=1 merges and gains the same address at ``merge_at`` — the
+    merged entry is appended to the (thread, line) bucket *after* the
+    younger pre_id=2 while keeping created_at=0."""
+    sim.now = 0.0
+    irb.insert(IrbEntry(pre_id=1, thread_id=0, transaction_id=0,
+                        line_addr=None, data=b"\x05" * 64))
+    sim.now = 5.0
+    irb.insert(IrbEntry(pre_id=2, thread_id=0, transaction_id=0,
+                        line_addr=0x400, data=None))
+    sim.now = merge_at
+    irb.insert(IrbEntry(pre_id=1, thread_id=0, transaction_id=0,
+                        line_addr=0x400, data=None))
+    return irb.match_write(0, 0x400, b"\x00" * 64)
+
+
+def test_merged_entry_does_not_shadow_newer_address_match():
+    """Regression: after a data-only entry merges with an
+    address-bearing op, match_write must still return the
+    most-recently-created entry for that (thread, line) — bucket
+    append order at merge time must not override created_at."""
+    sim, irb = make_irb(capacity=8)
+    match = _drive_merge_reorder(irb, sim, merge_at=7.0)
+    assert match is not None
+    assert match.pre_id == 2 and match.created_at == 5.0
+    # And it agrees with the linear-scan reference.
+    ref_sim = Simulator()
+    ref = _drive_merge_reorder(
+        LinearScanIrb(ref_sim, capacity=8, max_age_ns=1000.0),
+        ref_sim, merge_at=7.0)
+    assert (ref.pre_id, ref.created_at) == (match.pre_id,
+                                            match.created_at)
+
+
+def test_merged_entry_created_at_tie_breaks_by_insertion_order():
+    """Both entries created at the same instant: the later-inserted
+    one wins, matching the reference scan's tie-break, even though
+    the merge put the earlier entry last in the address bucket."""
+
+    def drive(irb, sim):
+        irb.insert(IrbEntry(pre_id=1, thread_id=0, transaction_id=0,
+                            line_addr=None, data=b"\x05" * 64))
+        irb.insert(IrbEntry(pre_id=2, thread_id=0, transaction_id=0,
+                            line_addr=0x400, data=None))  # same t=0
+        sim.now = 3.0
+        irb.insert(IrbEntry(pre_id=1, thread_id=0, transaction_id=0,
+                            line_addr=0x400, data=None))  # merge
+        return irb.match_write(0, 0x400, b"\x00" * 64)
+
+    sim_a, indexed = make_irb(capacity=8)
+    got_a = drive(indexed, sim_a)
+    sim_b = Simulator()
+    got_b = drive(LinearScanIrb(sim_b, capacity=8, max_age_ns=1000.0),
+                  sim_b)
+    assert got_a is not None and got_b is not None
+    assert got_a.pre_id == got_b.pre_id == 2
+    assert got_a.created_at == got_b.created_at == 0.0
 
 
 def test_most_recent_entry_wins_on_duplicate_addr():

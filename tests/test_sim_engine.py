@@ -255,14 +255,25 @@ def test_schedule_rejects_negative_delay():
         sim._schedule(-0.5, lambda: None)
 
 
-def test_timeout_succeeded_early_raises_on_fire():
-    """succeed() racing a pending timeout must raise, not silently
-    double-trigger the event when the timer later fires."""
+def test_timeout_succeeded_early_is_not_double_triggered():
+    """succeed() racing a pending timeout completes the event exactly
+    once: waiters see the early value, the later timer firing is a
+    silent no-op (early wake is legitimate), and a second succeed()
+    still raises."""
     sim = Simulator()
-    timer = sim.timeout(5)
+    timer = sim.timeout(5, value="late")
+    got = []
+
+    def waiter():
+        got.append((yield timer))
+
+    sim.process(waiter())
     timer.succeed("early")
+    sim.run()
+    assert got == ["early"]
+    assert timer.value == "early"  # the no-op firing kept the value
     with pytest.raises(SimulationError):
-        sim.run()
+        timer.succeed("again")
 
 
 def test_all_of_over_already_failed_child():
