@@ -10,12 +10,19 @@ correction.
 When encryption is in the pipeline the code is computed over the
 ciphertext (edge E3 -> X1), since that is what lives in the device;
 otherwise over the raw data.
+
+Detected-uncorrectable contract: :func:`check` raises
+:class:`~repro.common.errors.UncorrectableMediaError` when the damage
+exceeds single-bit-per-word correction.  Callers that can degrade
+(retry, poison the line) catch it; nothing ever receives a silently
+miscorrected line or an ambiguous ``None``.
 """
 
 from typing import Optional, Tuple
 
 from repro.bmo.base import BackendOperation, BmoContext, DATA, SubOp
 from repro.common.config import BmoLatencies
+from repro.common.errors import UncorrectableMediaError
 
 
 def _word_syndrome(word: int) -> int:
@@ -47,11 +54,15 @@ def encode(line: bytes) -> bytes:
     return bytes(code)
 
 
-def check(line: bytes, code: bytes) -> Optional[bytes]:
+def check(line: bytes, code: bytes, line_addr: Optional[int] = None
+          ) -> bytes:
     """Verify ``line`` against ``code``; correct a single flipped bit.
 
-    Returns the (possibly corrected) line, or ``None`` if the damage
-    exceeds single-bit-per-word correction capability.
+    Returns the (possibly corrected) line.  Raises
+    :class:`UncorrectableMediaError` when the damage exceeds
+    single-bit-per-word correction capability — the detected-
+    uncorrectable case must be explicit, never a miscorrected line
+    handed back as if it were clean.
     """
     fixed = bytearray(line)
     for word_index, offset in enumerate(range(0, len(line), 8)):
@@ -63,13 +74,21 @@ def check(line: bytes, code: bytes) -> Optional[bytes]:
         if syndrome == stored_syndrome and parity == stored_parity:
             continue
         if parity == stored_parity:
-            return None  # even number of flips: uncorrectable here
+            # Even number of flips: parity looks clean but the
+            # syndrome moved — detected, uncorrectable here.
+            raise UncorrectableMediaError(
+                f"multi-bit (even) damage in word {word_index}",
+                line_addr=line_addr)
         flipped = syndrome ^ stored_syndrome
         if not 1 <= flipped <= 64:
-            return None
+            raise UncorrectableMediaError(
+                f"syndrome points outside word {word_index}",
+                line_addr=line_addr)
         word ^= 1 << (flipped - 1)
         if _word_syndrome(word) != stored_syndrome:
-            return None
+            raise UncorrectableMediaError(
+                f"correction did not converge in word {word_index}",
+                line_addr=line_addr)
         fixed[offset:offset + 8] = word.to_bytes(8, "little")
     return bytes(fixed)
 
@@ -113,9 +132,22 @@ class EccBmo(BackendOperation):
     def stale_subops(self, ctx: BmoContext) -> set:
         return set()
 
-    def verify_line(self, addr: int, stored: bytes) -> Optional[bytes]:
-        """Scrub helper: check/correct a line read from the device."""
+    def verify_line(self, addr: int, stored: bytes) -> bytes:
+        """Scrub helper: check/correct a line read from the device.
+
+        Raises :class:`UncorrectableMediaError` on detected-
+        uncorrectable damage; returns the (corrected) line otherwise.
+        """
         code = self.codes.get(addr)
         if code is None:
             return stored
-        return check(stored, code)
+        return check(stored, code, line_addr=addr)
+
+    # -- persistence ----------------------------------------------------
+    def unreconstructable_metadata(self) -> dict:
+        # Like counters/MACs, the codes commit at the persist point
+        # and are what recovery needs to re-verify stored lines.
+        return {"codes": dict(self.codes)}
+
+    def restore_metadata(self, snapshot: dict) -> None:
+        self.codes = dict(snapshot.get("codes", {}))

@@ -24,6 +24,15 @@ Commands
     Wall-clock perf benchmark of the tier-1 workloads plus the IRB
     microbenchmark; writes ``benchmarks/perf/BENCH_<date>.json`` and
     fails (exit 1) on a throughput regression versus the baseline.
+``scrub <workload> [--crash-at T] [--faults K,K,...] [--seed S]``
+    Run a workload, pull the plug, recover, and print the recovery
+    summary plus the :class:`ScrubReport` — optionally with seeded
+    faults injected (see ``repro.faults.FAULT_KINDS``).
+``crashtest [--quick] [--points N] [--workloads W,W] [--modes M,M]``
+    The crash-point campaign: sweep seeded crash points per workload
+    and mode, recover + scrub each, run the fault-class scenarios,
+    write ``results/CRASHTEST_<date>.json``, and fail (exit 1) on any
+    invariant violation (digest mismatch, commit gap, silent fault).
 """
 
 import argparse
@@ -132,6 +141,41 @@ def _build_parser() -> argparse.ArgumentParser:
                             "below this (default 2.0)")
     bench.add_argument("--no-write", action="store_true",
                        help="do not write the report JSON")
+
+    scrub = sub.add_parser(
+        "scrub", help="crash, recover, and scrub one workload")
+    add_workload_args(scrub)
+    scrub.add_argument("--crash-at", type=float, default=None,
+                       metavar="NS",
+                       help="power-failure time in ns (default: 60%% "
+                            "of the workload's full run)")
+    scrub.add_argument("--faults", default=None, metavar="K,K",
+                       help="comma-separated fault kinds to inject "
+                            "(seeded plan; see repro.faults)")
+    scrub.add_argument("--seed", type=int, default=7)
+
+    crashtest = sub.add_parser(
+        "crashtest", help="crash-point campaign + fault scenarios")
+    crashtest.add_argument("--quick", action="store_true",
+                           help="CI-sized: 2 workloads, 5 points")
+    crashtest.add_argument("--points", type=int, default=None,
+                           help="crash points per workload x mode "
+                                "(default 20, or 5 with --quick)")
+    crashtest.add_argument("--workloads", default=None, metavar="W,W",
+                           help="comma-separated subset (default all)")
+    crashtest.add_argument("--modes", default=None, metavar="M,M",
+                           help="comma-separated subset of "
+                                "serialized,janus")
+    crashtest.add_argument("--seed", type=int, default=7)
+    crashtest.add_argument("--no-scenarios", action="store_true",
+                           help="skip the fault-class scenarios")
+    crashtest.add_argument("--dir", default=None, metavar="DIR",
+                           help="report directory (default results)")
+    crashtest.add_argument("--out", default=None, metavar="PATH",
+                           help="report path (default "
+                                "DIR/CRASHTEST_<date>.json)")
+    crashtest.add_argument("--no-write", action="store_true",
+                           help="do not write the report JSON")
     return parser
 
 
@@ -322,6 +366,100 @@ def cmd_bench(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_scrub(args) -> int:
+    from repro.common.config import default_config
+    from repro.common.errors import ReproError
+    from repro.consistency import recover, scrub as run_scrub
+    from repro.core import NvmSystem
+    from repro.faults import (
+        DegradedModeManager,
+        FaultInjector,
+        FaultPlan,
+    )
+    from repro.workloads import make_workload
+
+    injector = None
+    if args.faults:
+        kinds = tuple(k.strip() for k in args.faults.split(",")
+                      if k.strip())
+        injector = FaultInjector(FaultPlan.seeded(args.seed, kinds))
+
+    params = _params(args)
+    variant = args.variant or \
+        ("manual" if args.mode == "janus" else "baseline")
+
+    crash_at = args.crash_at
+    if crash_at is None:
+        # Calibrate: a fault-free twin run fixes the time horizon.
+        calib = NvmSystem(default_config(mode=args.mode,
+                                         seed=args.seed))
+        twin = make_workload(args.workload, calib, calib.cores[0],
+                             params, variant=variant)
+        horizon = calib.run_programs([twin.run()])
+        crash_at = max(1.0, 0.6 * horizon)
+
+    system = NvmSystem(default_config(mode=args.mode, seed=args.seed),
+                       injector=injector)
+    workload = make_workload(args.workload, system, system.cores[0],
+                             params, variant=variant)
+    system.sim.process(workload.run(), name="stream")
+    system.sim.run(until=crash_at)
+    snapshot = system.crash()
+    print(f"{args.workload} mode={args.mode}: power failure at "
+          f"{crash_at:,.0f} ns")
+    if injector is not None:
+        for record in injector.injected:
+            print(f"  injected: {record}")
+    try:
+        state = recover(snapshot,
+                        [(workload.log.base, workload.log.capacity)],
+                        verify_macs=True)
+        print(f"  recovery: {len(state.committed_txns)} committed, "
+              f"{len(state.rolled_back)} rolled back, "
+              f"{len(state.media_corrected)} media-corrected, "
+              f"{len(set(state.torn_log_lines))} torn log lines")
+    except ReproError as error:
+        print(f"  recovery REJECTED: "
+              f"{type(error).__name__}: {error}")
+    report = run_scrub(
+        system, degraded=DegradedModeManager(system, injector=injector))
+    print(report.render())
+    return 0 if report.clean else 1
+
+
+def cmd_crashtest(args) -> int:
+    from repro.harness import crash_campaign as cc
+
+    config = cc.quick_config(seed=args.seed) if args.quick \
+        else cc.CampaignConfig(seed=args.seed)
+    if args.points is not None:
+        config.points = args.points
+    if args.workloads:
+        config.workloads = tuple(w.strip()
+                                 for w in args.workloads.split(",")
+                                 if w.strip())
+        unknown = set(config.workloads) - set(WORKLOADS)
+        if unknown:
+            print(f"unknown workloads: {sorted(unknown)}",
+                  file=sys.stderr)
+            return 2
+    if args.modes:
+        config.modes = tuple(m.strip() for m in args.modes.split(",")
+                             if m.strip())
+    if args.no_scenarios:
+        config.fault_scenarios = False
+
+    report = cc.run_campaign(config)
+    print(cc.render_summary(report))
+    if not args.no_write:
+        directory = args.dir if args.dir is not None else cc.DEFAULT_DIR
+        out = args.out if args.out is not None \
+            else cc.crashtest_path(directory)
+        cc.write_report(report, out)
+        print(f"report -> {out}")
+    return 1 if report["violations"] else 0
+
+
 COMMANDS = {
     "figures": cmd_figures,
     "figure": cmd_figure,
@@ -331,6 +469,8 @@ COMMANDS = {
     "plan": cmd_plan,
     "misuse": cmd_misuse,
     "bench": cmd_bench,
+    "scrub": cmd_scrub,
+    "crashtest": cmd_crashtest,
 }
 
 

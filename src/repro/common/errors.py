@@ -33,5 +33,21 @@ class RecoveryError(ReproError):
     """Post-crash recovery found persistent state it cannot repair."""
 
 
+class MediaError(ReproError):
+    """A fault in the NVM media surfaced to the architecture."""
+
+
+class UncorrectableMediaError(MediaError):
+    """ECC detected damage beyond its correction capability.
+
+    Carries the line address (when known) so degraded-mode handling
+    can poison exactly the failing line.
+    """
+
+    def __init__(self, message: str, line_addr=None):
+        super().__init__(message)
+        self.line_addr = line_addr
+
+
 class InstrumentationError(ReproError):
     """The compiler pass was given malformed transaction IR."""

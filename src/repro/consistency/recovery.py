@@ -19,9 +19,18 @@ assert against a reference model of committed transactions.
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.common.errors import IntegrityError, RecoveryError
-from repro.common.units import CACHE_LINE_BYTES, align_down
-from repro.consistency.undo_log import parse_log
+from repro.bmo.ecc import check as ecc_check
+from repro.common.errors import (
+    IntegrityError,
+    RecoveryError,
+    UncorrectableMediaError,
+)
+from repro.common.units import CACHE_LINE_BYTES, align_down, align_up
+from repro.consistency.undo_log import (
+    _COMMIT_MAGIC,
+    parse_log,
+    unpack_record,
+)
 from repro.crypto.counter_mode import CounterModeEngine
 from repro.crypto.primitives import mac_of
 
@@ -39,10 +48,26 @@ class RecoveredState:
         enc_meta = metadata.get("encryption", {})
         self._counters = enc_meta.get("counters", {})
         self._macs = enc_meta.get("macs", {})
+        #: Pads that have at least one MAC on record: a line whose
+        #: *current* counter has no MAC while older ones exist means
+        #: the counter store was tampered with after the last commit.
+        self._pads_with_macs = {p for (p, _c) in self._macs}
         dedup_meta = metadata.get("dedup", {}).get("dedup", {})
         self._remap = dedup_meta.get("remap", {})
         self._entries = dedup_meta.get("entries", {})
+        #: ECC codes committed at the persist point (when the
+        #: pipeline carries the ``ecc`` BMO): recovery re-verifies
+        #: each fetched ciphertext, correcting single-bit media
+        #: damage and rejecting uncorrectable lines explicitly.
+        self._ecc_codes = metadata.get("ecc", {}).get("codes", {})
+        #: Lines whose single-bit media damage ECC corrected.
+        self.media_corrected: List[int] = []
+        #: Log-region lines that failed verification while scanning —
+        #: treated as a torn tail (the scan stopped there cleanly).
+        self.torn_log_lines: List[int] = []
         self.rolled_back: List[int] = []
+        #: Transaction ids whose commit record was found by the scan.
+        self.committed_txns: List[int] = []
 
     # -- line materialisation ------------------------------------------------
     def read_line(self, line_addr: int) -> bytes:
@@ -54,6 +79,22 @@ class RecoveredState:
         self._overlay[line_addr] = line
         return line
 
+    def _fetch_cipher(self, store_addr: int) -> bytes:
+        """Read stored bytes, applying ECC when a code covers them.
+
+        Correctable media damage is fixed (and counted); detected-
+        uncorrectable damage raises — an explicit rejection, never a
+        garbage line silently decrypted.
+        """
+        cipher = self._nvm.get(store_addr, bytes(CACHE_LINE_BYTES))
+        code = self._ecc_codes.get(store_addr)
+        if code is None:
+            return cipher
+        fixed = ecc_check(cipher, code, line_addr=store_addr)
+        if fixed != cipher:
+            self.media_corrected.append(store_addr)
+        return fixed
+
     def _recover_line(self, line_addr: int) -> bytes:
         fingerprint = self._remap.get(line_addr)
         if fingerprint is not None:
@@ -62,11 +103,10 @@ class RecoveredState:
                 raise RecoveryError(
                     f"remap of {line_addr:#x} points at a dropped "
                     f"dedup entry")
-            cipher = self._nvm.get(entry.store_addr,
-                                   bytes(CACHE_LINE_BYTES))
+            cipher = self._fetch_cipher(entry.store_addr)
             return self._decrypt(entry.pad_addr, entry.counter, cipher)
         counter = self._counters.get(line_addr, 0)
-        cipher = self._nvm.get(line_addr, bytes(CACHE_LINE_BYTES))
+        cipher = self._fetch_cipher(line_addr)
         if counter == 0:
             # Never encrypted: raw device bytes (or an unwritten line).
             return cipher
@@ -76,6 +116,13 @@ class RecoveredState:
                  cipher: bytes) -> bytes:
         if self._verify:
             expected = self._macs.get((pad_addr, counter))
+            if expected is None and pad_addr in self._pads_with_macs:
+                # Every commit mints (counter, MAC) atomically, so a
+                # MAC-covered pad with no MAC at its current counter
+                # means the counter store was corrupted.
+                raise IntegrityError(
+                    f"no MAC for line stored under {pad_addr:#x} at "
+                    f"counter {counter} (counter store tampered?)")
             if expected is not None and \
                     mac_of(cipher, counter) != expected:
                 raise IntegrityError(
@@ -100,12 +147,58 @@ class RecoveredState:
         pos = 0
         while pos < len(data):
             line_addr = align_down(addr + pos)
-            line = bytearray(self.read_line(line_addr))
             start = (addr + pos) - line_addr
             chunk = min(CACHE_LINE_BYTES - start, len(data) - pos)
+            if chunk == CACHE_LINE_BYTES:
+                # Full-line overwrite: do not materialise the old
+                # line first — rollback must be able to replace a
+                # torn/damaged line without decrypting its garbage.
+                self._overlay[line_addr] = bytes(
+                    data[pos:pos + chunk])
+                pos += chunk
+                continue
+            line = bytearray(self.read_line(line_addr))
             line[start:start + chunk] = data[pos:pos + chunk]
             self._overlay[line_addr] = bytes(line)
             pos += chunk
+
+    def _scan_read_line(self, line_addr: int) -> bytes:
+        """Log-scan reader: damaged lines become a torn-tail sentinel.
+
+        A log line that fails its MAC or is uncorrectable media damage
+        is, from recovery's point of view, a torn tail — the crash (or
+        an ADR drop/tear) interrupted the append.  Returning zeros
+        makes the record's header CRC fail, so the parser stops
+        cleanly right there instead of propagating garbage.
+        """
+        try:
+            return self.read_line(line_addr)
+        except (IntegrityError, UncorrectableMediaError):
+            self.torn_log_lines.append(line_addr)
+            return bytes(CACHE_LINE_BYTES)
+
+    def _commit_beyond(self, stop: int, end: int,
+                       commit_magics) -> Optional[int]:
+        """Probe for a commit record *after* the scan's stop point.
+
+        A durable commit record fences on all of its transaction's
+        earlier log records, so a valid commit beyond a damaged line
+        means the persist-domain guarantee itself failed (an ADR
+        drop/tear ate an already-accepted record).  Treating the
+        damage as an ordinary torn tail would silently roll back a
+        committed transaction — so the caller raises instead.
+
+        Only lines the metadata says were written are probed (the
+        undamaged remainder of the region is unwritten space).
+        """
+        candidates = set(self._counters) | set(self._remap)
+        for addr in sorted(a for a in candidates if stop < a < end):
+            if addr % CACHE_LINE_BYTES:
+                continue
+            parsed = unpack_record(self._scan_read_line(addr))
+            if parsed is not None and parsed[0] in commit_magics:
+                return addr
+        return None
 
     # -- redo replay -----------------------------------------------------------
     def replay_redo_log(self, base: int, capacity: int) -> List[int]:
@@ -117,16 +210,30 @@ class RecoveredState:
         (the in-place data was never touched).  Returns the replayed
         transaction ids, in commit order.
         """
-        from repro.consistency.redo_log import parse_redo_log
+        from repro.consistency.redo_log import (
+            _RCOMMIT_MAGIC,
+            parse_redo_log,
+        )
 
         updates: List[tuple] = []
         committed: List[int] = []
-        for record in parse_redo_log(self.read_line, base, capacity):
+        scan_stop = base
+        for record in parse_redo_log(self._scan_read_line, base,
+                                     capacity):
             kind, txn_id, addr, size, payload_addr = record
             if kind == "commit":
                 committed.append(txn_id)
+                scan_stop = payload_addr + CACHE_LINE_BYTES
             else:
                 updates.append((txn_id, addr, size, payload_addr))
+                scan_stop = payload_addr + align_up(size)
+        tail = self._commit_beyond(scan_stop, base + capacity,
+                                   {_RCOMMIT_MAGIC})
+        if tail is not None:
+            raise RecoveryError(
+                f"redo commit record at {tail:#x} beyond a damaged "
+                f"log line — the log was damaged mid-stream, refusing "
+                f"to silently drop a committed transaction")
         committed_set = set(committed)
         for txn_id, addr, size, payload_addr in updates:
             if txn_id in committed_set:
@@ -140,13 +247,24 @@ class RecoveredState:
         """Scan one log region; undo uncommitted transactions."""
         backups: List[Tuple[int, int, int, int]] = []
         committed = set()
-        for record in parse_log(self.read_line, base, capacity):
+        scan_stop = base
+        for record in parse_log(self._scan_read_line, base, capacity):
             kind, txn_id = record[0], record[1]
             if kind == "commit":
                 committed.add(txn_id)
+                scan_stop = record[4] + CACHE_LINE_BYTES
             else:
                 _k, txn_id, addr, size, payload_addr = record
                 backups.append((txn_id, addr, size, payload_addr))
+                scan_stop = payload_addr + align_up(size)
+        tail = self._commit_beyond(scan_stop, base + capacity,
+                                   {_COMMIT_MAGIC})
+        if tail is not None:
+            raise RecoveryError(
+                f"commit record at {tail:#x} beyond a damaged log "
+                f"line — the log was damaged mid-stream, refusing to "
+                f"silently roll back a committed transaction")
+        self.committed_txns.extend(sorted(committed))
         undone = []
         # Newest record first: restores nest correctly if a location
         # was backed up twice by the same transaction.

@@ -12,10 +12,16 @@ an even larger window than undo logging's.
 """
 
 import struct
+import zlib
 from typing import List, Tuple
 
 from repro.common.errors import RecoveryError, SimulationError
 from repro.common.units import CACHE_LINE_BYTES, align_up
+from repro.consistency.undo_log import (
+    _payload_bytes,
+    pack_record,
+    unpack_record,
+)
 
 _REDO_MAGIC = 0x5245444F   # 'REDO'
 _RCOMMIT_MAGIC = 0x52434D54  # 'RCMT'
@@ -27,16 +33,28 @@ def parse_redo_log(read_line, base: int, capacity: int):
 
     Yields ``("update", txn_id, addr, size, payload_addr)`` and
     ``("commit", txn_id, 0, 0, record_addr)`` in log order.
+
+    Same robustness contract as ``parse_log``: torn records (CRC
+    mismatch) stop the scan cleanly; CRC-valid records with insane
+    fields raise :class:`RecoveryError`.
     """
     offset = base
     end = base + capacity
     while offset + CACHE_LINE_BYTES <= end:
-        line = read_line(offset)
-        magic, txn_id, addr, size = _HEADER.unpack_from(line)
+        parsed = unpack_record(read_line(offset))
+        if parsed is None:
+            break  # unwritten space or a torn header line
+        magic, txn_id, addr, size, payload_crc = parsed
         if magic == _REDO_MAGIC:
             if size <= 0 or size > capacity:
                 raise RecoveryError(
                     f"corrupt redo record at {offset:#x}")
+            if offset + CACHE_LINE_BYTES + align_up(size) > end:
+                break  # truncated: payload runs past the region
+            payload = _payload_bytes(
+                read_line, offset + CACHE_LINE_BYTES, size)
+            if zlib.crc32(payload) != payload_crc:
+                break  # torn payload
             yield ("update", txn_id, addr, size,
                    offset + CACHE_LINE_BYTES)
             offset += CACHE_LINE_BYTES + align_up(size)
@@ -88,9 +106,9 @@ class RedoTransaction:
             raise SimulationError(f"log_update() in phase {self._phase!r}")
         record_addr = self.log._reserve(
             CACHE_LINE_BYTES + align_up(len(data)))
-        header = _HEADER.pack(_REDO_MAGIC, self.txn_id, addr, len(data))
-        yield from self.core.store(record_addr,
-                                   header.ljust(CACHE_LINE_BYTES, b"\x00"))
+        header = pack_record(_REDO_MAGIC, self.txn_id, addr, len(data),
+                             payload=data)
+        yield from self.core.store(record_addr, header)
         yield from self.core.store(record_addr + CACHE_LINE_BYTES, data)
         yield from self.core.clwb(record_addr,
                                   CACHE_LINE_BYTES + align_up(len(data)))
@@ -102,9 +120,8 @@ class RedoTransaction:
             raise SimulationError(f"commit() in phase {self._phase!r}")
         yield from self.core.sfence()
         record_addr = self.log._reserve(CACHE_LINE_BYTES)
-        header = _HEADER.pack(_RCOMMIT_MAGIC, self.txn_id, 0, 0)
-        yield from self.core.store(record_addr,
-                                   header.ljust(CACHE_LINE_BYTES, b"\x00"))
+        header = pack_record(_RCOMMIT_MAGIC, self.txn_id, 0, 0)
+        yield from self.core.store(record_addr, header)
         yield from self.core.clwb(record_addr, CACHE_LINE_BYTES,
                                   critical=True)
         yield from self.core.sfence()

@@ -19,6 +19,7 @@ and assert the scrubber localises the damage.
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
+from repro.common.errors import UncorrectableMediaError
 from repro.crypto.primitives import mac_of
 
 
@@ -31,9 +32,15 @@ class ScrubReport:
     mac_failures: List[int] = field(default_factory=list)
     merkle_failures: List[int] = field(default_factory=list)
     dedup_failures: List[str] = field(default_factory=list)
+    #: Lines whose single-bit media damage ECC fixed during the walk.
+    corrected_lines: List[int] = field(default_factory=list)
+    #: Lines with uncorrectable media damage, taken out of service.
+    poisoned_lines: List[int] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
+        """No *silent* damage: everything either verified, or was
+        corrected/poisoned explicitly (tracked separately)."""
         return not (self.mac_failures or self.merkle_failures
                     or self.dedup_failures)
 
@@ -50,16 +57,43 @@ class ScrubReport:
             lines.append(f"  MERKLE FAILURE at leaf {index}")
         for detail in self.dedup_failures:
             lines.append(f"  DEDUP INVARIANT: {detail}")
+        for addr in self.corrected_lines:
+            lines.append(f"  ecc-corrected line {addr:#x}")
+        for addr in self.poisoned_lines:
+            lines.append(f"  POISONED line {addr:#x} "
+                         f"(uncorrectable media damage)")
         return "\n".join(lines)
 
 
-def scrub(system) -> ScrubReport:
-    """Verify the persistent image of a quiescent system."""
+def scrub(system, degraded=None) -> ScrubReport:
+    """Verify the persistent image of a quiescent system.
+
+    With a :class:`repro.faults.DegradedModeManager` supplied, line
+    reads go through it: correctable media damage is healed in place
+    (and reported), uncorrectable lines are poisoned and reported —
+    the scrubber never MAC-checks bytes ECC already rejected.
+    """
     report = ScrubReport()
     pipeline = system.pipeline
     encryption = pipeline.by_name.get("encryption")
     dedup = pipeline.by_name.get("dedup")
     integrity = pipeline.by_name.get("integrity")
+
+    def fetch(addr):
+        """Line read for the MAC walk; None if taken out of service."""
+        if degraded is None:
+            return system.nvm.read_line(addr)
+        try:
+            return degraded.read_line(addr)
+        except UncorrectableMediaError:
+            report.poisoned_lines.append(addr)
+            return None
+
+    # Pads with any MAC on record: commits mint (counter, MAC)
+    # atomically, so a covered pad whose current counter has no MAC
+    # means the counter store was tampered with.
+    pads_with_macs = {p for (p, _c) in encryption.macs} \
+        if encryption is not None else set()
 
     # 1. data: MAC-verify every *live* ciphertext.
     if encryption is not None and dedup is not None:
@@ -71,8 +105,10 @@ def scrub(system) -> ScrubReport:
                 (entry.pad_addr, entry.counter))
             if expected is None:
                 continue  # seeded functionally without MAC coverage
-            cipher = system.nvm.read_line(entry.store_addr)
+            cipher = fetch(entry.store_addr)
             report.lines_checked += 1
+            if cipher is None:
+                continue
             if mac_of(cipher, entry.counter) != expected:
                 report.mac_failures.append(entry.store_addr)
     elif encryption is not None:
@@ -80,9 +116,14 @@ def scrub(system) -> ScrubReport:
                 encryption.engine.snapshot_counters().items():
             expected = encryption.macs.get((addr, counter))
             if expected is None:
+                if addr in pads_with_macs:
+                    report.lines_checked += 1
+                    report.mac_failures.append(addr)
                 continue
-            cipher = system.nvm.read_line(addr)
+            cipher = fetch(addr)
             report.lines_checked += 1
+            if cipher is None:
+                continue
             if mac_of(cipher, counter) != expected:
                 report.mac_failures.append(addr)
 
@@ -111,4 +152,7 @@ def scrub(system) -> ScrubReport:
                 report.dedup_failures.append(
                     f"entry {fingerprint.hex()[:8]} refcount "
                     f"{entry.refcount} != {aliases} aliases")
+
+    if degraded is not None:
+        report.corrected_lines.extend(degraded.take_corrections())
     return report

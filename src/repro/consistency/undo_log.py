@@ -21,6 +21,7 @@ record are rolled back oldest-record-last.
 """
 
 import struct
+import zlib
 from typing import List, Optional, Tuple
 
 from repro.common.errors import RecoveryError, SimulationError
@@ -29,6 +30,41 @@ from repro.common.units import CACHE_LINE_BYTES, align_up
 _BACKUP_MAGIC = 0x554E444F  # 'UNDO'
 _COMMIT_MAGIC = 0x434D4954  # 'CMIT'
 _HEADER = struct.Struct("<IQQQ")  # magic, txn_id, addr, size
+#: CRC trailer inside the 64-byte header line, after the 28-byte
+#: header: payload_crc (crc32 of the payload bytes; 0 when there is
+#: no payload) then header_crc (crc32 of bytes [0, 32)).  Recovery
+#: uses them to distinguish a *torn* tail record (CRC mismatch: stop
+#: the scan cleanly) from a *corrupt* log (valid CRC, insane fields:
+#: raise RecoveryError).
+_CRC_TRAILER = struct.Struct("<II")
+_CRC_OFFSET = _HEADER.size  # 28
+
+
+def pack_record(magic: int, txn_id: int, addr: int, size: int,
+                payload: bytes = b"") -> bytes:
+    """Build one CRC-protected 64-byte record header line."""
+    head = _HEADER.pack(magic, txn_id, addr, size)
+    head += zlib.crc32(payload).to_bytes(4, "little")
+    head += zlib.crc32(head).to_bytes(4, "little")
+    return head.ljust(CACHE_LINE_BYTES, b"\x00")
+
+
+def unpack_record(line: bytes):
+    """Parse one header line; returns ``(magic, txn_id, addr, size,
+    payload_crc)`` or ``None`` when the header CRC does not match —
+    a torn / half-written / never-written line."""
+    magic, txn_id, addr, size = _HEADER.unpack_from(line)
+    payload_crc, header_crc = _CRC_TRAILER.unpack_from(line, _CRC_OFFSET)
+    if zlib.crc32(line[:_CRC_OFFSET + 4]) != header_crc:
+        return None
+    return magic, txn_id, addr, size, payload_crc
+
+
+def _payload_bytes(read_line, payload_addr: int, size: int) -> bytes:
+    out = bytearray()
+    for offset in range(0, align_up(size), CACHE_LINE_BYTES):
+        out += read_line(payload_addr + offset)
+    return bytes(out[:size])
 
 
 class UndoLog:
@@ -99,9 +135,9 @@ class UndoTransaction:
         old = yield from self.core.read(addr, size)
         record_addr = self.log._reserve(
             CACHE_LINE_BYTES + align_up(size))
-        header = _HEADER.pack(_BACKUP_MAGIC, self.txn_id, addr, size)
-        yield from self.core.store(record_addr,
-                                   header.ljust(CACHE_LINE_BYTES, b"\x00"))
+        header = pack_record(_BACKUP_MAGIC, self.txn_id, addr, size,
+                             payload=old)
+        yield from self.core.store(record_addr, header)
         yield from self.core.store(record_addr + CACHE_LINE_BYTES, old)
         yield from self.core.clwb(record_addr,
                                   CACHE_LINE_BYTES + align_up(size))
@@ -139,9 +175,8 @@ class UndoTransaction:
         if self._phase != "commit":
             raise SimulationError(f"commit() in phase {self._phase!r}")
         record_addr = self.log._reserve(CACHE_LINE_BYTES)
-        header = _HEADER.pack(_COMMIT_MAGIC, self.txn_id, 0, 0)
         yield from self.core.store(record_addr,
-                                   header.ljust(CACHE_LINE_BYTES, b"\x00"))
+                                   self.commit_record_preview())
         # The commit record immediately mutates crash-consistency
         # status: it is the selectively metadata-atomic write (§4.3).
         yield from self.core.clwb(record_addr, CACHE_LINE_BYTES,
@@ -155,8 +190,7 @@ class UndoTransaction:
         """The exact line image the commit record will hold — known
         before the commit step, so it can be pre-executed with
         PRE_BOTH_VAL (§4.4)."""
-        return _HEADER.pack(_COMMIT_MAGIC, self.txn_id, 0, 0).ljust(
-            CACHE_LINE_BYTES, b"\x00")
+        return pack_record(_COMMIT_MAGIC, self.txn_id, 0, 0)
 
     def next_commit_record_addr(self, planned_payload_sizes=()) -> int:
         """Where the commit record will land.
@@ -174,16 +208,31 @@ def parse_log(read_line, base: int, capacity: int):
     ``read_line(addr)`` returns 64 recovered bytes.  Yields
     ``("backup", txn_id, addr, size, record_addr)`` and
     ``("commit", txn_id)`` tuples in log order.
+
+    Robustness contract: a record whose header or payload CRC does
+    not verify is *torn* — the crash interrupted its persist — and
+    the scan stops cleanly there (nothing after a torn tail can be
+    trusted to be ordered).  A record whose CRC verifies but whose
+    fields are insane (size <= 0 or beyond the region) is *corrupt*
+    and raises :class:`RecoveryError`.
     """
     offset = base
     end = base + capacity
     while offset + CACHE_LINE_BYTES <= end:
-        line = read_line(offset)
-        magic, txn_id, addr, size = _HEADER.unpack_from(line)
+        parsed = unpack_record(read_line(offset))
+        if parsed is None:
+            break  # unwritten space or a torn header line
+        magic, txn_id, addr, size, payload_crc = parsed
         if magic == _BACKUP_MAGIC:
             if size <= 0 or size > capacity:
                 raise RecoveryError(
                     f"corrupt backup record at {offset:#x}")
+            if offset + CACHE_LINE_BYTES + align_up(size) > end:
+                break  # truncated: payload runs past the region
+            payload = _payload_bytes(
+                read_line, offset + CACHE_LINE_BYTES, size)
+            if zlib.crc32(payload) != payload_crc:
+                break  # torn payload: header landed, old data did not
             yield ("backup", txn_id, addr, size,
                    offset + CACHE_LINE_BYTES)
             offset += CACHE_LINE_BYTES + align_up(size)

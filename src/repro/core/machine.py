@@ -354,7 +354,8 @@ class Core:
 class NvmSystem:
     """The whole machine for one simulation run."""
 
-    def __init__(self, config: SystemConfig, tracer: Optional[Tracer] = None):
+    def __init__(self, config: SystemConfig, tracer: Optional[Tracer] = None,
+                 injector=None):
         self.cfg = config.validate()
         self.sim = Simulator()
         self.rng = DeterministicRng(config.seed)
@@ -406,6 +407,11 @@ class NvmSystem:
                             size=heap_limit - CACHE_LINE_BYTES)
         self.cores = [Core(self, i) for i in range(config.cores)]
         self.stats = self.metrics.scope("system")
+        #: Optional ``repro.faults.FaultInjector``: hooks into the
+        #: device, the write queue, the Janus engine, and ``crash()``.
+        self.injector = injector
+        if injector is not None:
+            injector.attach(self)
 
     def _copy_nvm_line(self, src: int, dst: int) -> None:
         """Dedup relocation: move ciphertext between device lines."""
@@ -461,6 +467,11 @@ class NvmSystem:
         # Accepted-but-undrained entries are in the ADR domain: the
         # residual-energy flush completes their device writes.  The
         # event loop does NOT run further — the cores stop dead.
+        if self.injector is not None:
+            # Power-failure faults strike first: metadata corruption
+            # lands before the snapshot, drop/tear fates are applied
+            # per entry inside the flush itself.
+            self.injector.on_power_failure()
         self.write_queue.adr_flush()
         snapshot = {
             "nvm_lines": dict(self.nvm._lines),

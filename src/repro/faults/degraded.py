@@ -1,0 +1,116 @@
+"""Graceful degradation: retry, correct, or poison — never crash.
+
+The :class:`DegradedModeManager` is the policy layer between raw
+media reads and consumers that need trustworthy bytes (the scrubber,
+recovery tooling, the ``repro scrub`` CLI).  Instead of letting an
+:class:`~repro.common.errors.UncorrectableMediaError` propagate as a
+hard failure, it:
+
+1. re-reads the line up to ``max_retries`` times — transient faults
+   (a bad sense, a disturbed read) clear on retry;
+2. applies ECC correction when the pipeline carries codes — a
+   single-bit flip is corrected *and healed back* to the device
+   (scrub-on-read);
+3. poisons lines whose damage survives both — they are quarantined
+   in :attr:`poisoned` and reported through the
+   :class:`~repro.consistency.scrub.ScrubReport`, and subsequent
+   reads raise immediately instead of handing out garbage.
+
+Everything is counted in the shared ``faults`` metrics scope so a
+campaign can assert "N injected, N corrected + M poisoned, 0 silently
+absorbed".
+"""
+
+from typing import List, Optional, Set
+
+from repro.bmo.ecc import check as ecc_check
+from repro.common.errors import UncorrectableMediaError
+
+_TRACK = ("faults", "degraded")
+
+
+class DegradedModeManager:
+    """Bounded retry + re-fetch, ECC healing, line poisoning."""
+
+    def __init__(self, system, injector=None, max_retries: int = 2):
+        self.system = system
+        self.injector = injector if injector is not None \
+            else getattr(system, "injector", None)
+        self.max_retries = max_retries
+        #: Lines quarantined after exhausting retries.
+        self.poisoned: Set[int] = set()
+        #: Lines ECC-corrected (and healed in NVM) by this manager.
+        self.corrected: List[int] = []
+        stats = system.metrics.scope("faults")
+        self._c_corrected = stats.counter("corrected_lines")
+        self._c_retries = stats.counter("read_retries")
+        self._c_poisoned = stats.counter("poisoned_lines")
+        self._c_healed = stats.counter("healed_writes")
+        self.tracer = system.tracer
+
+    # -- helpers -----------------------------------------------------------
+    def _code_for(self, addr: int) -> Optional[bytes]:
+        ecc = self.system.pipeline.by_name.get("ecc")
+        if ecc is None:
+            return None
+        return ecc.codes.get(addr)
+
+    def _trace(self, name: str, addr: int) -> None:
+        if self.tracer.enabled:
+            self.tracer.instant(name, "faults", _TRACK,
+                                ts_ns=self.system.sim.now,
+                                args={"addr": addr})
+
+    def poison(self, addr: int) -> None:
+        if addr not in self.poisoned:
+            self.poisoned.add(addr)
+            self._c_poisoned.add()
+            self._trace("poison-line", addr)
+
+    # -- the resilient read path ---------------------------------------------
+    def read_line(self, addr: int) -> bytes:
+        """Read one line with retry + ECC; raise only after poisoning.
+
+        Returns trustworthy bytes or raises
+        :class:`UncorrectableMediaError` — never a silently damaged
+        line.  Lines already poisoned raise immediately.
+        """
+        if addr in self.poisoned:
+            raise UncorrectableMediaError(
+                f"line {addr:#x} is poisoned", line_addr=addr)
+        code = self._code_for(addr)
+        last_error = None
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self._c_retries.add()
+            raw = self.system.nvm.read_line(addr)
+            if self.injector is not None:
+                raw = self.injector.filter_read(addr, raw)
+            if code is None:
+                # No ECC coverage: nothing to judge against; the MAC
+                # layer above (scrub/recovery) is the next net.
+                return raw
+            try:
+                fixed = ecc_check(raw, code, line_addr=addr)
+            except UncorrectableMediaError as error:
+                last_error = error
+                continue
+            if fixed != raw:
+                # Correctable damage: heal the stored copy so the
+                # next read doesn't pay again (scrub-on-read).
+                self.system.nvm.write_line(addr, fixed)
+                self.corrected.append(addr)
+                self._c_corrected.add()
+                self._c_healed.add()
+                self._trace("ecc-correct", addr)
+            return fixed
+        self.poison(addr)
+        raise UncorrectableMediaError(
+            f"line {addr:#x} uncorrectable after "
+            f"{self.max_retries + 1} attempts", line_addr=addr) \
+            from last_error
+
+    def take_corrections(self) -> List[int]:
+        """Corrections accumulated since the last call (for reports)."""
+        out, self.corrected = self.corrected, []
+        return out

@@ -1,0 +1,236 @@
+"""The fault-injection hook layer.
+
+One :class:`FaultInjector` attaches to one
+:class:`~repro.core.machine.NvmSystem` and is called from four sites:
+
+* ``on_device_read(addr)`` — NVM device read timing path (event
+  counting for transient-read faults; the corruption itself is
+  applied by :meth:`filter_read` on the resilient-read data path,
+  since the timing model carries no data);
+* ``on_device_write(entry)`` — after a write-queue drain (or ADR
+  flush) lands bytes in functional NVM: one-shot bit flips and
+  stuck-at cells mutate the stored line *after* the write, exactly
+  like failing media;
+* ``on_irb_complete(entry)`` — after the Janus engine finishes
+  pre-executing an IRB entry: corrupt the buffered data copy or
+  perturb a pre-executed result so the entry is stale;
+* ``on_power_failure()`` / ``adr_fate(entry)`` — at ``crash()``:
+  metadata-store corruption, and per-entry drop/tear decisions for
+  the ADR flush.
+
+Every injection is counted in the ``faults`` metrics scope and, when
+tracing is enabled, emitted as an instant span — the observability
+layer is how campaigns prove a fault was *injected* and separately
+prove it was *handled*.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.rng import DeterministicRng
+from repro.common.units import CACHE_LINE_BYTES
+from repro.faults.plan import FaultPlan, FaultSpec
+
+_TRACK = ("faults", "injector")
+
+
+def _apply_bits(line: bytes, bits, mode: str = "flip",
+                value: int = 0) -> bytes:
+    out = bytearray(line)
+    for bit in bits:
+        byte, shift = bit // 8, bit % 8
+        if mode == "flip":
+            out[byte] ^= 1 << shift
+        elif value:
+            out[byte] |= 1 << shift
+        else:
+            out[byte] &= ~(1 << shift)
+    return bytes(out)
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a live system."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan if plan is not None else FaultPlan()
+        self.system = None
+        self._rng = DeterministicRng(self.plan.seed).stream(
+            "fault-injector")
+        #: hook site -> number of eligible events observed.
+        self.events: Dict[str, int] = {}
+        #: Everything injected, in order — campaign reports embed it.
+        self.injected: List[Dict] = []
+        #: line addr -> [(bit, stuck value)] for stuck-at cells.
+        self._stuck: Dict[int, List[Tuple[int, int]]] = {}
+        #: line addr -> bits armed for one transient read corruption.
+        self._transient_armed: Dict[int, Tuple[int, ...]] = {}
+        self.stats = None
+        self.tracer = None
+
+    # -- wiring -----------------------------------------------------------
+    def attach(self, system) -> "FaultInjector":
+        """Wire this injector into a constructed system."""
+        self.system = system
+        self.stats = system.metrics.scope("faults")
+        self.tracer = system.tracer
+        self._c_injected = self.stats.counter("injected")
+        system.device.injector = self
+        system.write_queue.injector = self
+        if system.janus is not None:
+            system.janus.injector = self
+        return self
+
+    # -- bookkeeping -------------------------------------------------------
+    def _bump(self, site: str) -> int:
+        count = self.events.get(site, 0) + 1
+        self.events[site] = count
+        return count
+
+    def _fire(self, spec: FaultSpec, **detail) -> None:
+        record = {"kind": spec.kind, **detail}
+        self.injected.append(record)
+        self._c_injected.add()
+        self.stats.counter(f"injected_{spec.kind}").add()
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.instant(
+                f"fault:{spec.kind}", "faults", _TRACK,
+                ts_ns=self.system.sim.now, args=record)
+
+    def injected_of(self, kind: str) -> List[Dict]:
+        return [r for r in self.injected if r["kind"] == kind]
+
+    # -- media: device writes ------------------------------------------------
+    def on_device_write(self, entry) -> None:
+        """Called after ``entry``'s bytes landed in functional NVM."""
+        count = self._bump("device_write")
+        nvm = self.system.nvm
+        for spec in self.plan.by_kind("media_write_flip"):
+            if spec.after_n != count:
+                continue
+            if spec.sticky:
+                cells = self._stuck.setdefault(entry.addr, [])
+                cells.extend((bit, spec.stuck_value)
+                             for bit in spec.bits)
+                self._fire(spec, addr=entry.addr,
+                           bits=list(spec.bits), sticky=True)
+            else:
+                nvm.write_line(entry.addr, _apply_bits(
+                    nvm.read_line(entry.addr), spec.bits))
+                self._fire(spec, addr=entry.addr,
+                           bits=list(spec.bits), sticky=False)
+        cells = self._stuck.get(entry.addr)
+        if cells:
+            line = nvm.read_line(entry.addr)
+            for bit, value in cells:
+                line = _apply_bits(line, (bit,), mode="stuck",
+                                   value=value)
+            nvm.write_line(entry.addr, line)
+
+    # -- media: device reads -------------------------------------------------
+    def on_device_read(self, addr: int) -> None:
+        """Timing-path read: counts events and arms transient faults."""
+        count = self._bump("device_read")
+        for spec in self.plan.by_kind("media_read_transient"):
+            if spec.after_n == count:
+                self._transient_armed[addr] = spec.bits
+
+    def filter_read(self, addr: int, data: bytes) -> bytes:
+        """Resilient-read data path: corrupt one returned copy.
+
+        Transient faults are one-shot — the stored line is clean, so
+        the :class:`DegradedModeManager`'s retry succeeds.  Fires
+        either because :meth:`on_device_read` armed this address or
+        on the Nth filtered read.
+        """
+        count = self._bump("filtered_read")
+        fired = None
+        bits = self._transient_armed.pop(addr, None)
+        if bits is not None:
+            specs = self.plan.by_kind("media_read_transient")
+            fired = specs[0] if specs else None
+        else:
+            for spec in self.plan.by_kind("media_read_transient"):
+                if spec.after_n == count:
+                    fired, bits = spec, spec.bits
+                    break
+        if fired is None or bits is None:
+            return data
+        self._fire(fired, addr=addr, bits=list(bits))
+        return _apply_bits(data, bits)
+
+    # -- IRB ---------------------------------------------------------------
+    def on_irb_complete(self, entry) -> None:
+        """Called by the Janus engine after pre-execution finishes.
+
+        ``after_n`` counts *eligible* completions per fault kind
+        (entries a corruption could actually touch), so a plan never
+        lands on a data-less commit-value entry and fizzles.
+        """
+        self._bump("irb_complete")
+        if entry.data is not None:
+            count = self._bump("irb_complete_data")
+            for spec in self.plan.by_kind("irb_corrupt"):
+                if spec.after_n == count:
+                    entry.data = _apply_bits(entry.data, spec.bits)
+                    self._fire(spec, line_addr=entry.line_addr,
+                               bits=list(spec.bits))
+        values = entry.ctx.values
+        if "counter" in values or "is_dup" in values:
+            count = self._bump("irb_complete_result")
+            for spec in self.plan.by_kind("irb_stale"):
+                if spec.after_n != count:
+                    continue
+                if "counter" in values:
+                    values["counter"] = values["counter"] + 1
+                    self._fire(spec, line_addr=entry.line_addr,
+                               perturbed="counter")
+                else:
+                    values["is_dup"] = not values["is_dup"]
+                    self._fire(spec, line_addr=entry.line_addr,
+                               perturbed="is_dup")
+
+    # -- power failure -------------------------------------------------------
+    def adr_fate(self, entry) -> str:
+        """Fate of one accepted entry during the ADR flush."""
+        count = self._bump("adr_entry")
+        for spec in self.plan.by_kind("wq_drop"):
+            if spec.after_n == count:
+                self._fire(spec, addr=entry.addr)
+                return "drop"
+        for spec in self.plan.by_kind("wq_tear"):
+            if spec.after_n == count:
+                self._fire(spec, addr=entry.addr)
+                return "tear"
+        return "flush"
+
+    def tear(self, entry) -> None:
+        """Mutate ``entry`` into a torn line: new head, old tail."""
+        old = self.system.nvm.read_line(entry.addr)
+        half = CACHE_LINE_BYTES // 2
+        entry.data = entry.data[:half] + old[half:]
+
+    def on_power_failure(self) -> None:
+        """Apply metadata-store corruption at the crash point."""
+        pipeline = self.system.pipeline
+        integrity = pipeline.by_name.get("integrity")
+        encryption = pipeline.by_name.get("encryption")
+        for spec in self.plan.by_kind("meta_merkle"):
+            if integrity is None or not integrity.committed_leaves:
+                continue
+            keys = sorted(integrity.committed_leaves)
+            index = keys[self._rng.randrange(len(keys))]
+            leaf = integrity.committed_leaves[index]
+            bit = spec.bits[0] % (len(leaf) * 8)
+            integrity.committed_leaves[index] = _apply_bits(
+                leaf, (bit,))
+            self._fire(spec, leaf=index)
+        for spec in self.plan.by_kind("meta_counter"):
+            if encryption is None:
+                continue
+            counters = encryption.engine.snapshot_counters()
+            if not counters:
+                continue
+            keys = sorted(counters)
+            addr = keys[self._rng.randrange(len(keys))]
+            encryption.engine.restore_counters(
+                {**counters, addr: counters[addr] + 1})
+            self._fire(spec, addr=addr)

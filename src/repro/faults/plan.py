@@ -1,0 +1,144 @@
+"""Fault plans: declarative, seeded descriptions of what goes wrong.
+
+A :class:`FaultSpec` names one fault — its *kind* (which hook site it
+fires at), the Nth eligible event it triggers on, and the bit pattern
+it applies.  A :class:`FaultPlan` is an ordered bag of specs plus the
+seed used to derive any randomised choices, serialisable to a plain
+dict so campaign reports embed exactly what was injected.
+
+Kinds and their hook sites:
+
+=====================  ====================================================
+``media_write_flip``   Nth device write: flip ``bits`` in the stored line
+                       (``sticky=True`` models a stuck-at cell that
+                       re-applies on every later write to that line).
+``media_read_transient``
+                       Nth resilient read: the returned bytes are
+                       corrupted once; the stored line is untouched, so
+                       a bounded retry recovers.
+``meta_merkle``        At power failure: corrupt one committed Merkle
+                       leaf in the integrity BMO.
+``meta_counter``       At power failure: bump one line's encryption
+                       counter, breaking the MAC/decrypt chain.
+``irb_corrupt``        Nth completed IRB entry: flip a bit in its
+                       buffered data copy.
+``irb_stale``          Nth completed IRB entry: perturb a pre-executed
+                       result (counter / duplicate verdict) so the
+                       entry is stale when consumed.
+``wq_drop``            Power failure: the Nth ADR-flushed entry is
+                       dropped (residual energy ran out).
+``wq_tear``            Power failure: the Nth ADR-flushed entry lands
+                       half-new / half-old (torn line).
+=====================  ====================================================
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+
+FAULT_KINDS = (
+    "media_write_flip",
+    "media_read_transient",
+    "meta_merkle",
+    "meta_counter",
+    "irb_corrupt",
+    "irb_stale",
+    "wq_drop",
+    "wq_tear",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault."""
+
+    kind: str
+    #: Fire on the Nth eligible event at this spec's hook site
+    #: (1-based).  Power-failure kinds ignore it except ``wq_*``,
+    #: where it indexes the flushed entries.
+    after_n: int = 1
+    #: Bit offsets within the 512-bit line to flip / force.
+    bits: Tuple[int, ...] = (0,)
+    #: ``media_write_flip`` only: model a stuck-at cell — the fault
+    #: re-applies on every subsequent write to the same line.
+    sticky: bool = False
+    #: For sticky faults: the value the cell is stuck at (0 or 1).
+    stuck_value: int = 0
+
+    def validate(self) -> "FaultSpec":
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}")
+        if self.after_n < 1:
+            raise ConfigError("after_n is 1-based and must be >= 1")
+        if any(not 0 <= b < 512 for b in self.bits):
+            raise ConfigError("fault bits must be within a 64-byte line")
+        if self.stuck_value not in (0, 1):
+            raise ConfigError("stuck_value must be 0 or 1")
+        return self
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "after_n": self.after_n,
+            "bits": list(self.bits),
+            "sticky": self.sticky,
+            "stuck_value": self.stuck_value,
+        }
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of fault specs plus the choice seed."""
+
+    seed: int = 0
+    specs: List[FaultSpec] = field(default_factory=list)
+
+    def __post_init__(self):
+        for spec in self.specs:
+            spec.validate()
+
+    def by_kind(self, kind: str) -> List[FaultSpec]:
+        return [s for s in self.specs if s.kind == kind]
+
+    def to_dict(self) -> Dict:
+        return {"seed": self.seed,
+                "specs": [s.to_dict() for s in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        return cls(seed=data.get("seed", 0),
+                   specs=[FaultSpec(kind=s["kind"],
+                                    after_n=s.get("after_n", 1),
+                                    bits=tuple(s.get("bits", (0,))),
+                                    sticky=s.get("sticky", False),
+                                    stuck_value=s.get("stuck_value", 0))
+                          for s in data.get("specs", ())])
+
+    @classmethod
+    def seeded(cls, seed: int, kinds: Sequence[str],
+               max_event: int = 8) -> "FaultPlan":
+        """Derive one spec per requested kind, deterministically.
+
+        ``max_event`` bounds the Nth-event trigger so short runs still
+        hit every fault.  Identical (seed, kinds, max_event) produce
+        an identical plan — the campaign determinism guarantee rests
+        on this.
+        """
+        rng = DeterministicRng(seed).stream("fault-plan")
+        specs = []
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ConfigError(f"unknown fault kind {kind!r}")
+            after_n = 1 + rng.randrange(max_event)
+            if kind in ("media_write_flip", "media_read_transient",
+                        "irb_corrupt"):
+                # Single-bit faults stay ECC-correctable; campaigns
+                # add explicit multi-bit specs for the poison path.
+                bits = (rng.randrange(512),)
+            else:
+                bits = (rng.randrange(512),)
+            specs.append(FaultSpec(kind=kind, after_n=after_n,
+                                   bits=bits))
+        return cls(seed=seed, specs=specs)

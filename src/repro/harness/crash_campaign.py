@@ -1,0 +1,504 @@
+"""Crash-point campaign: sweep seeded crash points, prove recovery.
+
+The campaign is the repo's end-to-end robustness argument.  For every
+``workload x mode`` pair it:
+
+1. runs a *calibration* pass to completion, recording the logical
+   digest of the structure after every committed transaction (the
+   reference trajectory) and the run's time horizon;
+2. sweeps ``points`` seeded crash times across that horizon — each
+   point runs a fresh system, pulls the plug mid-stream, recovers
+   (MAC-verified) and rolls back the undo log, then decodes the
+   recovered image with the workload's structure-aware
+   ``logical_state``;
+3. asserts the recovered digest equals the reference digest at the
+   recovered commit count — i.e. recovery always lands exactly on a
+   committed-transaction boundary — and that the post-crash scrub is
+   clean.
+
+Because the reference trajectories are compared *across modes*, the
+campaign also proves the paper's requirement 1 (§3.2): Janus
+pre-execution never changes the post-crash recoverable state relative
+to the serialized baseline.
+
+A second section exercises every fault class from
+:mod:`repro.faults` in a targeted scenario and classifies the outcome
+(recovered-consistent / rejected with a ``ReproError`` subclass /
+corrected / poisoned).  A fault that produces a divergent digest with
+no error and no correction evidence is a *silent* failure and lands
+in ``violations``.
+
+Reports are deterministic: identical seed + config produce a
+byte-identical JSON document (no timestamps in the body — the date
+lives only in the file name).
+"""
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import default_config
+from repro.common.errors import ReproError
+from repro.common.rng import DeterministicRng
+from repro.consistency import recover, scrub
+from repro.core import NvmSystem
+from repro.faults import DegradedModeManager, FaultInjector, FaultPlan, \
+    FaultSpec
+from repro.workloads import WORKLOADS, WorkloadParams, make_workload
+
+SCHEMA = "repro-crashtest-v1"
+DEFAULT_DIR = "results"
+DEFAULT_MODES = ("serialized", "janus")
+#: BMO set used by the fault scenarios: every metadata store plus ECC,
+#: so media faults exercise correction *and* poisoning.
+FAULT_BMOS = ("dedup", "encryption", "integrity", "ecc")
+
+
+@dataclass
+class CampaignConfig:
+    """Everything that determines a campaign (and its report)."""
+
+    workloads: Tuple[str, ...] = tuple(WORKLOADS)
+    modes: Tuple[str, ...] = DEFAULT_MODES
+    #: Seeded crash points per workload x mode.
+    points: int = 20
+    seed: int = 7
+    n_items: int = 8
+    value_size: int = 64
+    n_transactions: int = 12
+    fault_scenarios: bool = True
+
+    def params(self) -> WorkloadParams:
+        return WorkloadParams(n_items=self.n_items,
+                              value_size=self.value_size,
+                              n_transactions=self.n_transactions)
+
+    def to_dict(self) -> Dict:
+        return {
+            "workloads": list(self.workloads),
+            "modes": list(self.modes),
+            "points": self.points,
+            "seed": self.seed,
+            "n_items": self.n_items,
+            "value_size": self.value_size,
+            "n_transactions": self.n_transactions,
+            "fault_scenarios": self.fault_scenarios,
+        }
+
+
+def quick_config(seed: int = 7) -> CampaignConfig:
+    """CI-sized campaign: two workloads, fewer points."""
+    return CampaignConfig(workloads=("array_swap", "queue"),
+                          points=5, seed=seed, n_transactions=8)
+
+
+# -- building blocks ---------------------------------------------------------
+def _variant(mode: str) -> str:
+    return "manual" if mode == "janus" else "baseline"
+
+
+def _build(name: str, mode: str, params: WorkloadParams, seed: int,
+           injector: Optional[FaultInjector] = None,
+           bmos: Optional[Sequence[str]] = None):
+    overrides = {"mode": mode, "seed": seed}
+    if bmos is not None:
+        overrides["bmos"] = tuple(bmos)
+    system = NvmSystem(default_config(**overrides), injector=injector)
+    workload = make_workload(name, system, system.cores[0], params,
+                             variant=_variant(mode))
+    return system, workload
+
+
+def reference_trajectory(name: str, mode: str, params: WorkloadParams,
+                         seed: int,
+                         bmos: Optional[Sequence[str]] = None):
+    """Run to completion; digest after setup and after every commit.
+
+    Returns ``(digests, horizon_ns)`` where ``digests[k]`` is the
+    logical digest with exactly ``k`` transactions committed.  The
+    workloads draw all their randomness from mode-independent rng
+    streams, so for a fixed seed the trajectory is identical across
+    modes — the campaign asserts exactly that.
+    """
+    system, workload = _build(name, mode, params, seed, bmos=bmos)
+    digests: Dict[int, str] = {
+        0: workload.logical_digest(system.volatile.read)}
+
+    def driver():
+        for _ in range(params.n_transactions):
+            workload._preobjs = {}
+            yield from workload.transaction()
+            workload.completed_transactions += 1
+            k = system.cores[0].current_txn_id
+            digests[k] = workload.logical_digest(system.volatile.read)
+
+    horizon = system.run_programs([driver()])
+    return digests, horizon
+
+
+def run_crash_point(name: str, mode: str, params: WorkloadParams,
+                    seed: int, crash_at: float,
+                    plan: Optional[FaultPlan] = None,
+                    bmos: Optional[Sequence[str]] = None,
+                    crash_on_accept: Optional[int] = None) -> Dict:
+    """One crash point: run, crash, recover, scrub, decode.
+
+    Returns a record with the recovered commit count, the logical
+    digest (or the rejection error), rollback/scrub evidence, and any
+    injected faults.  Never lets damage through silently: a
+    ``ReproError`` from recovery or decoding is captured as an
+    explicit rejection.
+
+    ``crash_on_accept=N`` crashes the instant the Nth write-queue
+    acceptance completes — the only moment an entry is guaranteed to
+    sit in the ADR domain undrained, which the ``wq_*`` fault
+    scenarios need (a wall-clock crash time almost always finds the
+    single-core queue empty).
+    """
+    injector = FaultInjector(plan) if plan is not None else None
+    system, workload = _build(name, mode, params, seed,
+                              injector=injector, bmos=bmos)
+    system.sim.process(workload.run(), name="stream")
+    if crash_on_accept is None:
+        system.sim.run(until=crash_at)
+    else:
+        stop = system.sim.event("accept-crash")
+        original = system.write_queue.accept
+        seen = {"accepts": 0}
+
+        def wrapped(entry):
+            yield from original(entry)
+            seen["accepts"] += 1
+            if seen["accepts"] == crash_on_accept \
+                    and not stop.triggered:
+                stop.succeed()
+
+        system.write_queue.accept = wrapped
+        system.sim.run(stop_event=stop)
+        system.write_queue.accept = original
+        crash_at = system.sim.now
+    snapshot = system.crash()
+
+    record: Dict = {"crash_at": crash_at, "mode": mode}
+    state = None
+    try:
+        state = recover(snapshot,
+                        [(workload.log.base, workload.log.capacity)],
+                        verify_macs=True)
+        committed = state.committed_txns
+        record["committed"] = len(committed)
+        record["prefix_ok"] = \
+            committed == list(range(1, len(committed) + 1))
+        record["rolled_back"] = len(state.rolled_back)
+        record["media_corrected"] = len(state.media_corrected)
+        record["torn_log_lines"] = len(set(state.torn_log_lines))
+        record["digest"] = workload.logical_digest(state.read)
+        record["result"] = "recovered"
+    except ReproError as error:
+        record["result"] = f"rejected:{type(error).__name__}"
+        record["error"] = str(error)
+
+    degraded = DegradedModeManager(system, injector=injector)
+    report = scrub(system, degraded=degraded)
+    record["scrub"] = {
+        "clean": report.clean,
+        "lines_checked": report.lines_checked,
+        "mac_failures": len(report.mac_failures),
+        "merkle_failures": len(report.merkle_failures),
+        "dedup_failures": len(report.dedup_failures),
+        "corrected_lines": len(report.corrected_lines),
+        "poisoned_lines": len(report.poisoned_lines),
+    }
+    if injector is not None:
+        record["injected"] = list(injector.injected)
+    return record
+
+
+def crash_mid_bmo(name: str, mode: str = "janus",
+                  commit_index: int = 5,
+                  params: Optional[WorkloadParams] = None,
+                  seed: int = 7):
+    """Crash in the mid-BMO window: metadata committed, data write
+    not yet accepted into the persist domain.
+
+    The pipeline commits unreconstructable metadata synchronously in
+    ``_persist``; the write-queue acceptance (the ADR persist point)
+    is a separate simulation event.  Stopping the simulator exactly
+    between the two models a power failure in that window.  Returns
+    ``(system, workload, snapshot)``; the caller recovers and checks
+    the image still lands on a committed boundary.
+    """
+    params = params or WorkloadParams(n_items=8, value_size=64,
+                                      n_transactions=10)
+    system, workload = _build(name, mode, params, seed)
+    original = system.pipeline.commit
+    stop = system.sim.event("mid-bmo-crash")
+    state = {"commits": 0}
+
+    def wrapped(ctx):
+        action = original(ctx)
+        state["commits"] += 1
+        if state["commits"] == commit_index and not stop.triggered:
+            stop.succeed()
+        return action
+
+    system.pipeline.commit = wrapped
+    system.sim.process(workload.run(), name="stream")
+    system.sim.run(stop_event=stop)
+    system.pipeline.commit = original
+    if state["commits"] < commit_index:
+        # Short run: fall back to crashing at the end (still valid).
+        pass
+    snapshot = system.crash()
+    return system, workload, snapshot
+
+
+# -- fault scenarios ---------------------------------------------------------
+#: (label, kind, spec kwargs, bmos, expectation note).  ``after_n``
+#: values are small so short scenario runs reliably reach them.
+FAULT_SCENARIOS = (
+    ("media-flip-correctable", "media_write_flip",
+     {"after_n": 4, "bits": (13,)}, FAULT_BMOS,
+     "single-bit media damage: ECC corrects during recovery/scrub"),
+    ("media-flip-uncorrectable", "media_write_flip",
+     {"after_n": 4, "bits": (3, 9)}, FAULT_BMOS,
+     "double-bit same-word damage: detected, line poisoned"),
+    ("media-read-transient", "media_read_transient",
+     {"after_n": 2, "bits": (5, 21)}, FAULT_BMOS,
+     "transient read damage: bounded retry re-fetches clean bytes"),
+    ("meta-merkle", "meta_merkle",
+     {"bits": (7,)}, ("dedup", "encryption", "integrity"),
+     "Merkle leaf corruption at power loss: scrub localises it"),
+    ("meta-counter", "meta_counter",
+     {"bits": (0,)}, ("encryption", "integrity"),
+     "counter bump at power loss: MAC chain breaks, IntegrityError"),
+    ("irb-corrupt", "irb_corrupt",
+     {"after_n": 2, "bits": (17,)}, None,
+     "IRB data corruption: write-time mismatch forces recompute"),
+    ("irb-stale", "irb_stale",
+     {"after_n": 2}, None,
+     "stale pre-executed result: invalidation refreshes it"),
+    ("wq-drop", "wq_drop",
+     {"after_n": 1}, None,
+     "ADR drop at power loss: log CRC / MAC detects the hole"),
+    ("wq-tear", "wq_tear",
+     {"after_n": 1}, None,
+     "ADR torn line at power loss: detected, never consumed"),
+)
+
+
+def _scenario_mode(kind: str) -> str:
+    # IRB faults need the Janus engine; run everything under Janus so
+    # the scenarios also cover the pre-execution datapath.
+    return "janus"
+
+
+def run_fault_scenario(label: str, kind: str, spec_kwargs: Dict,
+                       bmos: Optional[Sequence[str]],
+                       config: CampaignConfig) -> Dict:
+    """Inject one fault class; classify and account for the outcome."""
+    mode = _scenario_mode(kind)
+    params = config.params()
+    name = config.workloads[0]
+    digests, horizon = reference_trajectory(name, mode, params,
+                                            config.seed, bmos=bmos)
+    plan = FaultPlan(seed=config.seed,
+                     specs=[FaultSpec(kind=kind, **spec_kwargs)])
+    # wq_* faults strike entries sitting in the ADR domain at power
+    # loss; crash at an acceptance so one provably is.
+    accept = 9 if kind.startswith("wq_") else None
+    record = run_crash_point(name, mode, params, config.seed,
+                             crash_at=0.6 * horizon, plan=plan,
+                             bmos=bmos, crash_on_accept=accept)
+    record["label"] = label
+    record["kind"] = kind
+    record["workload"] = name
+    if record["result"] == "recovered":
+        expected = digests.get(record["committed"])
+        record["digest_ok"] = record["digest"] == expected
+
+    injected = record.get("injected", [])
+    scrub_info = record["scrub"]
+    evidence = {
+        "rejected": record["result"].startswith("rejected:"),
+        "media_corrected": record.get("media_corrected", 0) > 0,
+        "torn_log_lines": record.get("torn_log_lines", 0) > 0,
+        "scrub_corrected": scrub_info["corrected_lines"] > 0,
+        "scrub_poisoned": scrub_info["poisoned_lines"] > 0,
+        "scrub_detected": (scrub_info["mac_failures"]
+                           + scrub_info["merkle_failures"]
+                           + scrub_info["dedup_failures"]) > 0,
+    }
+    record["evidence"] = evidence
+    # Accounting: an injected fault must either leave the recovered
+    # state consistent (absorbed by design: ECC fix, IRB recompute,
+    # rollback) or leave explicit evidence.  A divergent digest with
+    # no evidence is a silent failure.
+    silent = (record["result"] == "recovered"
+              and not record.get("digest_ok", False)
+              and not any(evidence.values()))
+    record["accounted"] = not injected or not silent
+    record["silent"] = bool(injected) and silent
+    return record
+
+
+# -- the campaign ------------------------------------------------------------
+def run_campaign(config: Optional[CampaignConfig] = None) -> Dict:
+    """Run the full campaign; returns the (deterministic) report."""
+    config = config or CampaignConfig()
+    report: Dict = {
+        "schema": SCHEMA,
+        "config": config.to_dict(),
+        "workloads": {},
+        "fault_scenarios": [],
+        "violations": [],
+    }
+    violations: List[Dict] = report["violations"]
+
+    for name in config.workloads:
+        params = config.params()
+        entry: Dict = {"modes": {}}
+        report["workloads"][name] = entry
+        reference: Optional[Dict[int, str]] = None
+        for mode in config.modes:
+            digests, horizon = reference_trajectory(
+                name, mode, params, config.seed)
+            if reference is None:
+                reference = digests
+            elif digests != reference:
+                violations.append({
+                    "workload": name, "mode": mode,
+                    "kind": "mode-divergence",
+                    "detail": "reference trajectory differs from "
+                              f"{config.modes[0]}",
+                })
+            rng = DeterministicRng(config.seed).stream(
+                f"crash-points-{name}-{mode}")
+            points = []
+            for i in range(config.points):
+                fraction = (i + rng.random()) / config.points
+                crash_at = max(1.0, fraction * horizon)
+                record = run_crash_point(name, mode, params,
+                                         config.seed, crash_at)
+                record["point"] = i
+                if record["result"] == "recovered":
+                    expected = digests.get(record["committed"])
+                    record["digest_ok"] = record["digest"] == expected
+                    for flag, kind in ((record["digest_ok"],
+                                        "digest-mismatch"),
+                                       (record["prefix_ok"],
+                                        "commit-gap"),
+                                       (record["scrub"]["clean"],
+                                        "scrub-dirty")):
+                        if not flag:
+                            violations.append({
+                                "workload": name, "mode": mode,
+                                "point": i, "kind": kind,
+                                "crash_at": crash_at,
+                            })
+                else:
+                    # No faults are injected in the main sweep, so a
+                    # rejection here is itself a violation.
+                    violations.append({
+                        "workload": name, "mode": mode, "point": i,
+                        "kind": "recovery-rejected",
+                        "detail": record.get("error", ""),
+                        "crash_at": crash_at,
+                    })
+                points.append(record)
+            entry["modes"][mode] = {
+                "horizon_ns": horizon,
+                "reference_digests": {str(k): v
+                                      for k, v in digests.items()},
+                "points": points,
+            }
+
+    if config.fault_scenarios:
+        for label, kind, spec_kwargs, bmos, note in FAULT_SCENARIOS:
+            record = run_fault_scenario(label, kind, dict(spec_kwargs),
+                                        bmos, config)
+            record["note"] = note
+            report["fault_scenarios"].append(record)
+            if record.get("silent"):
+                violations.append({
+                    "kind": "silent-fault",
+                    "scenario": label,
+                    "detail": "injected fault produced a divergent "
+                              "digest with no detection evidence",
+                })
+
+    report["summary"] = summarise(report)
+    return report
+
+
+def summarise(report: Dict) -> Dict:
+    points = 0
+    recovered = 0
+    rejected = 0
+    injected = 0
+    for entry in report["workloads"].values():
+        for mode_entry in entry["modes"].values():
+            for record in mode_entry["points"]:
+                points += 1
+                if record["result"] == "recovered":
+                    recovered += 1
+                else:
+                    rejected += 1
+    accounted = sum(1 for s in report["fault_scenarios"]
+                    if s.get("accounted"))
+    for scenario in report["fault_scenarios"]:
+        injected += len(scenario.get("injected", []))
+    return {
+        "crash_points": points,
+        "recovered": recovered,
+        "rejected": rejected,
+        "fault_scenarios": len(report["fault_scenarios"]),
+        "faults_injected": injected,
+        "scenarios_accounted": accounted,
+        "violations": len(report["violations"]),
+    }
+
+
+# -- report I/O --------------------------------------------------------------
+def render_json(report: Dict) -> str:
+    """Canonical serialisation — byte-identical for identical runs."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def crashtest_path(directory: str = DEFAULT_DIR) -> str:
+    from datetime import date
+    return os.path.join(directory,
+                        f"CRASHTEST_{date.today().isoformat()}.json")
+
+
+def write_report(report: Dict, path: str) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(render_json(report))
+
+
+def render_summary(report: Dict) -> str:
+    summary = report["summary"]
+    lines = [
+        f"crashtest: {summary['crash_points']} crash points "
+        f"({summary['recovered']} recovered, "
+        f"{summary['rejected']} rejected)",
+        f"  fault scenarios: {summary['fault_scenarios']} "
+        f"({summary['faults_injected']} faults injected, "
+        f"{summary['scenarios_accounted']} accounted)",
+    ]
+    for scenario in report["fault_scenarios"]:
+        status = "ok" if scenario.get("accounted") else "SILENT"
+        lines.append(f"    {scenario['label']:28s} "
+                     f"{scenario['result']:32s} {status}")
+    if report["violations"]:
+        lines.append(f"  VIOLATIONS: {len(report['violations'])}")
+        for violation in report["violations"]:
+            lines.append("    " + json.dumps(violation, sort_keys=True))
+    else:
+        lines.append("  invariants: all crash points recovered onto a "
+                     "committed boundary; no silent faults")
+    return "\n".join(lines)

@@ -52,6 +52,11 @@ class JanusEngine:
             stats=metrics.scope("irb") if metrics is not None else None,
             tracer=self.tracer)
         self._inflight_ops = 0
+        #: Optional ``repro.faults.FaultInjector``: notified when an
+        #: IRB entry's pre-execution completes, so campaigns can
+        #: corrupt buffered results and prove invalidation catches
+        #: them (stale results must never be silently consumed).
+        self.injector = None
         self.stats = metrics.scope("janus") if metrics is not None \
             else StatSet("janus")
         # Hot metric handles: one registry lookup at construction
@@ -151,6 +156,8 @@ class JanusEngine:
                               "subops": len(runnable)})
             entry.complete = True
             entry.inflight = None
+            if self.injector is not None:
+                self.injector.on_irb_complete(entry)
             done_event.succeed()
         finally:
             self._inflight_ops -= 1

@@ -36,6 +36,11 @@ class NvmDevice:
         #: line address -> number of device writes (cell wear).
         self.write_counts: Dict[int, int] = {}
         self.stats = stats if stats is not None else StatSet("nvm")
+        #: Optional ``repro.faults.FaultInjector`` (set by ``attach``).
+        #: Read-side media faults are armed here on the timing path;
+        #: write-side corruption applies where the functional bytes
+        #: land (the write-queue drain / ADR flush).
+        self.injector = None
 
     def _count(self, name: str) -> None:
         self.stats.counter(name).add()
@@ -48,6 +53,8 @@ class NvmDevice:
         """Process: occupy the channel for one line read."""
         self.reads += 1
         self._count("reads")
+        if self.injector is not None:
+            self.injector.on_device_read(addr)
         yield from self._channel_for(addr).use(self.cfg.read_service_ns)
 
     def write_access(self, addr: int):

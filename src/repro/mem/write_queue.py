@@ -54,6 +54,10 @@ class WriteQueue:
         self._pending: List[WriteEntry] = []
         self.stats = stats if stats is not None else StatSet("wq")
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Optional ``repro.faults.FaultInjector``: consulted after
+        #: each drain (media faults on the landed line) and per entry
+        #: during the ADR flush (drop / tear on power loss).
+        self.injector = None
         # Hot metric handles: resolved once, not per accepted write.
         self._c_accepted = self.stats.counter("accepted")
         self._c_drained = self.stats.counter("drained")
@@ -89,6 +93,8 @@ class WriteQueue:
                 self._pending.remove(entry)
                 if entry.on_drain is not None:
                     entry.on_drain(entry)
+                if self.injector is not None:
+                    self.injector.on_device_write(entry)
             self.drained += 1
             self._c_drained.add()
             self._h_residency.observe(self.sim.now - entry.accepted_at)
@@ -111,12 +117,29 @@ class WriteQueue:
     def adr_flush(self) -> int:
         """Power-failure path: complete every accepted entry's device
         write *now*, as Intel ADR's residual energy would.  Returns
-        the number of entries flushed."""
+        the number of entries flushed.
+
+        With a fault injector attached, each entry gets a fate: a
+        clean flush, a *drop* (the residual energy ran out before
+        this entry), or a *tear* (the line landed half-new/half-old).
+        Dropped and torn lines model ADR failure — downstream layers
+        (log CRCs, MACs) must detect them, never consume them.
+        """
         pending, self._pending = self._pending, []
+        flushed = 0
         for entry in pending:
+            fate = "flush" if self.injector is None \
+                else self.injector.adr_fate(entry)
+            if fate == "drop":
+                continue
+            if fate == "tear":
+                self.injector.tear(entry)
             if entry.on_drain is not None:
                 entry.on_drain(entry)
-        return len(pending)
+            if self.injector is not None:
+                self.injector.on_device_write(entry)
+            flushed += 1
+        return flushed
 
     @property
     def outstanding(self) -> int:

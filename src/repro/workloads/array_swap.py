@@ -72,6 +72,12 @@ class ArraySwapWorkload(TransactionalWorkload):
         yield from txn.fence_updates()
         yield from txn.commit()
 
+    # -- logical state ------------------------------------------------------
+    def logical_state(self, read) -> dict:
+        size = self.params.value_size
+        return {"items": [read(self._addr(i), size)
+                          for i in range(self.params.n_items)]}
+
     # -- static template (what the compiler pass sees) ----------------------
     @classmethod
     def template(cls) -> Template:

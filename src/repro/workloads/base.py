@@ -2,10 +2,12 @@
 target deduplication ratio, hook-driven instrumentation, fast seeding.
 """
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.common.errors import SimulationError
+from repro.common.errors import RecoveryError, SimulationError
 from repro.common.units import CACHE_LINE_BYTES, align_up, line_span
 from repro.compiler import AutoInstrumenter, InstrumentationPlan
 from repro.compiler.ir import (
@@ -19,6 +21,17 @@ from repro.compiler.ir import (
 )
 from repro.consistency.undo_log import UndoLog
 from repro.janus.api import PreObj
+
+
+def _jsonable(value):
+    """Recursively convert a logical state to JSON-able primitives."""
+    if isinstance(value, (bytes, bytearray)):
+        return value.hex()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
 
 
 def commit_template_tail():
@@ -208,6 +221,28 @@ class TransactionalWorkload:
             chunk = data[line_offset:line_offset + CACHE_LINE_BYTES]
             if len(chunk) == CACHE_LINE_BYTES:
                 self._pool.append(chunk)
+
+    # -- logical state (crash-campaign support) ------------------------------
+    def logical_state(self, read) -> dict:
+        """Structure-aware decode of the persistent image.
+
+        ``read(addr, size) -> bytes`` abstracts over the live
+        volatile image (``system.volatile.read``) and a post-crash
+        ``RecoveredState.read`` — the crash campaign compares the two
+        to prove recovery lands on a committed-transaction boundary.
+
+        Subclasses return a JSON-able summary of the user-visible
+        structure.  Traversals must be cycle- and size-guarded: a
+        damaged image raises :class:`RecoveryError` instead of
+        looping forever or decoding garbage into a plausible state.
+        """
+        raise NotImplementedError
+
+    def logical_digest(self, read) -> str:
+        """Canonical sha256 hex digest of :meth:`logical_state`."""
+        blob = json.dumps(_jsonable(self.logical_state(read)),
+                          sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     # -- common transaction helpers ---------------------------------------------
     def commit_env(self, txn, planned_payload_sizes=()) -> Dict[str, Tuple]:

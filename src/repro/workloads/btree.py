@@ -283,6 +283,45 @@ class BTreeWorkload(TransactionalWorkload):
             index = sum(1 for k in node["keys"] if k < key)
             addr = node["children"][index]
 
+    # -- logical state ---------------------------------------------------------
+    def logical_state(self, read) -> dict:
+        from repro.common.errors import RecoveryError
+
+        limit = self.params.n_items + self.params.n_transactions + 16
+        items = []
+        seen = set()
+
+        def walk(addr: int, depth: int) -> None:
+            if addr == 0 or addr in seen or depth > 64:
+                raise RecoveryError(
+                    f"btree walk broken at {addr:#x} depth {depth}")
+            if len(seen) > limit:
+                raise RecoveryError("btree node count exceeds bound")
+            seen.add(addr)
+            node = _unpack(read(addr, NODE_BYTES))
+            if len(node["keys"]) > MAX_KEYS:
+                raise RecoveryError("btree node overfull")
+            if node["leaf"]:
+                for key, value_ptr in zip(node["keys"], node["values"]):
+                    items.append(
+                        [key, read(value_ptr, self.params.value_size)
+                         if value_ptr else b""])
+                return
+            for i, child in enumerate(node["children"]):
+                walk(child, depth + 1)
+                if i < len(node["keys"]):
+                    key, value_ptr = node["keys"][i], node["values"][i]
+                    items.append(
+                        [key, read(value_ptr, self.params.value_size)
+                         if value_ptr else b""])
+
+        root = int.from_bytes(read(self.meta_addr, 8), "little")
+        walk(root, 0)
+        keys = [k for k, _v in items]
+        if sorted(keys) != keys or len(set(keys)) != len(keys):
+            raise RecoveryError("btree keys unsorted or duplicated")
+        return {"items": items}
+
     # -- template / plans -----------------------------------------------------------
     @classmethod
     def template(cls) -> Template:

@@ -121,6 +121,33 @@ class HashTableWorkload(TransactionalWorkload):
             node = next_node
         return b""
 
+    # -- logical state ---------------------------------------------------------
+    def logical_state(self, read) -> dict:
+        from repro.common.errors import RecoveryError
+
+        limit = self.params.n_items + self.params.n_transactions + 8
+        table = {}
+        for b in range(self.N_BUCKETS):
+            node = int.from_bytes(read(self.buckets + b * 8, 8),
+                                  "little")
+            chain, seen = [], set()
+            while node:
+                if node in seen:
+                    raise RecoveryError(
+                        f"hash chain cycle at node {node:#x}")
+                if len(chain) > limit:
+                    raise RecoveryError("hash chain exceeds bound")
+                seen.add(node)
+                key, value_ptr, next_node = _NODE.unpack_from(
+                    read(node, CACHE_LINE_BYTES))
+                chain.append([key,
+                              read(value_ptr, self.params.value_size)
+                              if value_ptr else b""])
+                node = next_node
+            if chain:
+                table[b] = chain
+        return {"buckets": table}
+
     # -- template / plans -----------------------------------------------------
     @classmethod
     def template(cls) -> Template:

@@ -162,6 +162,38 @@ class QueueWorkload(TransactionalWorkload):
             node = next_node
         return out
 
+    # -- logical state --------------------------------------------------------
+    def logical_state(self, read) -> dict:
+        from repro.common.errors import RecoveryError
+
+        head, tail, length = _META.unpack_from(
+            read(self.meta_addr, CACHE_LINE_BYTES))
+        limit = self.params.n_items * 2 + self.params.n_transactions + 8
+        if length > limit:
+            raise RecoveryError(f"queue length {length} exceeds bound")
+        values = []
+        node, seen = head, set()
+        while node:
+            if node in seen:
+                raise RecoveryError(f"queue cycle at node {node:#x}")
+            if len(values) >= length:
+                raise RecoveryError(
+                    f"queue walk exceeds recorded length {length}")
+            seen.add(node)
+            value_ptr, next_node = _NODE.unpack_from(
+                read(node, CACHE_LINE_BYTES))
+            values.append(read(value_ptr, self.params.value_size)
+                          if value_ptr else b"")
+            if next_node == 0 and node != tail:
+                raise RecoveryError(
+                    f"queue tail {tail:#x} != last node {node:#x}")
+            node = next_node
+        if len(values) != length:
+            raise RecoveryError(
+                f"queue walk found {len(values)} nodes, meta says "
+                f"{length}")
+        return {"length": length, "values": values}
+
     # -- template / plans ----------------------------------------------------
     @classmethod
     def template(cls) -> Template:

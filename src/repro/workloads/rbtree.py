@@ -303,6 +303,38 @@ class RBTreeWorkload(TransactionalWorkload):
             addr = node["left"] if key < node["key"] else node["right"]
         return None
 
+    # -- logical state ---------------------------------------------------------
+    def logical_state(self, read) -> dict:
+        from repro.common.errors import RecoveryError
+
+        limit = self.params.n_items + self.params.n_transactions + 16
+        items = []
+        seen = set()
+
+        def walk(addr: int, depth: int) -> None:
+            if addr == NIL:
+                return
+            if addr in seen or depth > 4 * limit:
+                raise RecoveryError(
+                    f"rbtree walk broken at {addr:#x}")
+            if len(seen) > limit:
+                raise RecoveryError("rbtree node count exceeds bound")
+            seen.add(addr)
+            node = _unpack(read(addr, CACHE_LINE_BYTES))
+            walk(node["left"], depth + 1)
+            items.append(
+                [node["key"],
+                 read(node["value_ptr"], self.params.value_size)
+                 if node["value_ptr"] else b""])
+            walk(node["right"], depth + 1)
+
+        root = int.from_bytes(read(self.meta_addr, 8), "little")
+        walk(root, 0)
+        keys = [k for k, _v in items]
+        if sorted(keys) != keys or len(set(keys)) != len(keys):
+            raise RecoveryError("rbtree keys unsorted or duplicated")
+        return {"items": items}
+
     # -- template / plans ---------------------------------------------------------
     @classmethod
     def template(cls) -> Template:

@@ -48,6 +48,11 @@ class TatpWorkload(TransactionalWorkload):
     def _record_addr(self, s_id: int) -> int:
         return self.base + s_id * self.record_size
 
+    # -- logical state ------------------------------------------------------
+    def logical_state(self, read) -> dict:
+        return {"records": [read(self._record_addr(s), self.record_size)
+                            for s in range(self.params.n_items)]}
+
     def transaction(self):
         s_id = self.pick_index()
         record = self._record_addr(s_id)

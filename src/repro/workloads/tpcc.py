@@ -115,6 +115,31 @@ class TpccWorkload(TransactionalWorkload):
         yield from txn.commit()
         self.orders_inserted += 1
 
+    # -- logical state ---------------------------------------------------------
+    def logical_state(self, read) -> dict:
+        from repro.common.errors import RecoveryError
+
+        next_o_id, ytd = _DISTRICT.unpack_from(
+            read(self.district_addr, CACHE_LINE_BYTES))
+        if not 1 <= next_o_id <= self.max_orders + 1:
+            raise RecoveryError(
+                f"district next_o_id {next_o_id} out of range")
+        orders = []
+        for o_id in range(1, next_o_id):
+            raw = read(self._order_addr(o_id), CACHE_LINE_BYTES)
+            rec_o_id, c_id, entry_d, ol_cnt = _ORDER.unpack_from(raw)
+            if rec_o_id != o_id:
+                raise RecoveryError(
+                    f"order slot {o_id} holds o_id {rec_o_id}")
+            if not 5 <= ol_cnt <= MAX_ORDER_LINES:
+                raise RecoveryError(
+                    f"order {o_id} ol_cnt {ol_cnt} out of range")
+            lines = [read(self._ol_addr(o_id, i), self.ol_size)
+                     for i in range(ol_cnt)]
+            orders.append({"o_id": o_id, "c_id": c_id,
+                           "ol_cnt": ol_cnt, "lines": lines})
+        return {"next_o_id": next_o_id, "ytd": ytd, "orders": orders}
+
     # -- functional check -----------------------------------------------------
     def read_order(self, o_id: int):
         raw = self.system.volatile.read(self._order_addr(o_id),

@@ -8,6 +8,7 @@ from repro.bmo.compression import CompressionBmo
 from repro.bmo.ecc import EccBmo, check, encode
 from repro.bmo.wear_leveling import StartGap, WearLevelingBmo
 from repro.common.config import BmoLatencies
+from repro.common.errors import UncorrectableMediaError
 
 LINE = st.binary(min_size=64, max_size=64)
 
@@ -130,7 +131,36 @@ class TestEcc:
         code = encode(data)
         corrupted = bytearray(data)
         corrupted[0] ^= 0b11  # two flips in word 0
-        assert check(bytes(corrupted), code) is None
+        with pytest.raises(UncorrectableMediaError):
+            check(bytes(corrupted), code)
+
+    @given(data=LINE, word=st.integers(0, 7),
+           bits=st.sets(st.integers(0, 63), min_size=2, max_size=2))
+    @settings(max_examples=40)
+    def test_multi_bit_same_word_never_miscorrects(self, data, word,
+                                                   bits):
+        """Regression for the detected-uncorrectable contract: an even
+        number of flips in one word must raise, never return a
+        silently miscorrected line."""
+        code = encode(data)
+        corrupted = bytearray(data)
+        for bit in bits:
+            corrupted[word * 8 + bit // 8] ^= 1 << (bit % 8)
+        with pytest.raises(UncorrectableMediaError):
+            check(bytes(corrupted), code)
+
+    def test_verify_line_raises_on_uncorrectable(self):
+        bmo = EccBmo(BmoLatencies())
+        from repro.bmo.base import BmoContext
+        ctx = BmoContext(addr=128, data=b"\x5A" * 64)
+        bmo._x1(ctx)
+        ctx.completed.add("X1")
+        bmo.commit(ctx)
+        damaged = bytearray(b"\x5A" * 64)
+        damaged[0] ^= 0b101  # two flips, word 0
+        with pytest.raises(UncorrectableMediaError) as excinfo:
+            bmo.verify_line(128, bytes(damaged))
+        assert excinfo.value.line_addr == 128
 
     def test_bmo_covers_ciphertext_when_encryption_present(self):
         from repro.bmo.base import BmoContext

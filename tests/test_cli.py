@@ -57,6 +57,50 @@ def test_misuse_command(capsys):
     assert "misuse report" in out
 
 
+def test_scrub_command_clean_crash(capsys):
+    code, out = run_cli(capsys, "scrub", "array_swap", "--txns", "6",
+                        "--items", "8", "--crash-at", "6000")
+    assert code == 0
+    assert "power failure" in out
+    assert "recovery:" in out and "committed" in out
+    assert "image clean" in out
+
+
+def test_scrub_command_with_faults_never_silent(capsys):
+    code, out = run_cli(capsys, "scrub", "queue", "--txns", "6",
+                        "--items", "8", "--crash-at", "6000",
+                        "--faults", "meta_merkle")
+    assert "injected:" in out
+    # An injected metadata fault must surface somewhere: a rejected
+    # recovery or an unclean scrub (exit 1) — never a clean exit with
+    # no evidence.
+    assert code == 1
+    assert "MERKLE FAILURE" in out or "REJECTED" in out
+
+
+def test_crashtest_quick_passes_and_writes(capsys, tmp_path):
+    out_path = tmp_path / "CRASHTEST_ci.json"
+    code, out = run_cli(capsys, "crashtest", "--quick",
+                        "--points", "2", "--out", str(out_path))
+    assert code == 0
+    assert "crash points" in out
+    assert "fault scenarios" in out
+    assert out_path.exists()
+
+
+def test_crashtest_subset_no_write(capsys):
+    code, out = run_cli(capsys, "crashtest", "--workloads",
+                        "array_swap", "--modes", "janus", "--points",
+                        "1", "--no-scenarios", "--no-write")
+    assert code == 0
+    assert "report ->" not in out
+
+
+def test_crashtest_rejects_unknown_workload(capsys):
+    code = main(["crashtest", "--workloads", "nope", "--no-write"])
+    assert code == 2
+
+
 def test_unknown_workload_rejected():
     with pytest.raises(SystemExit):
         main(["run", "not-a-workload"])

@@ -1,0 +1,311 @@
+"""Per-fault-class proofs for the injection subsystem.
+
+Every fault class from :mod:`repro.faults` gets a targeted test
+proving its outcome is one of: corrected (with evidence), poisoned +
+reported by the scrubber, or rejected with the right ``ReproError``
+subclass — never silently absorbed into recovered state.
+"""
+
+import pytest
+
+from repro.common.config import default_config
+from repro.common.errors import (
+    ConfigError,
+    IntegrityError,
+    RecoveryError,
+    UncorrectableMediaError,
+)
+from repro.consistency import recover, scrub
+from repro.core import NvmSystem
+from repro.faults import (
+    FAULT_KINDS,
+    DegradedModeManager,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.harness.crash_campaign import (
+    reference_trajectory,
+    run_crash_point,
+)
+from repro.workloads import WorkloadParams, make_workload
+
+SEED = 7
+#: Encryption + integrity + ECC, no dedup: every committed line is
+#: stored at its own address with its own ECC code, so a fault's
+#: target is directly checkable.
+NO_DEDUP_ECC = ("encryption", "integrity", "ecc")
+NO_DEDUP = ("encryption", "integrity")
+PARAMS = WorkloadParams(n_items=8, value_size=64, n_transactions=8)
+
+
+def build(plan=None, bmos=None, mode="janus", workload="array_swap"):
+    injector = FaultInjector(plan) if plan is not None else None
+    overrides = {"mode": mode, "seed": SEED}
+    if bmos is not None:
+        overrides["bmos"] = bmos
+    system = NvmSystem(default_config(**overrides), injector=injector)
+    wl = make_workload(workload, system, system.cores[0], PARAMS,
+                       variant="manual" if mode == "janus"
+                       else "baseline")
+    return system, wl, injector
+
+
+def run_full(system, workload):
+    return system.run_programs([workload.run()])
+
+
+def flip_bits(line, bits):
+    out = bytearray(line)
+    for bit in bits:
+        out[bit // 8] ^= 1 << (bit % 8)
+    return bytes(out)
+
+
+def counters(system):
+    return system.metrics.snapshot()["counters"]
+
+
+class TestFaultPlan:
+    def test_seeded_plan_is_deterministic(self):
+        a = FaultPlan.seeded(5, FAULT_KINDS)
+        b = FaultPlan.seeded(5, FAULT_KINDS)
+        assert a.to_dict() == b.to_dict()
+        assert len(a.specs) == len(FAULT_KINDS)
+
+    def test_roundtrips_through_dict(self):
+        plan = FaultPlan.seeded(11, ("media_write_flip", "wq_tear"))
+        assert FaultPlan.from_dict(plan.to_dict()).to_dict() \
+            == plan.to_dict()
+
+    def test_rejects_unknown_kind_and_bad_bits(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(specs=[FaultSpec(kind="cosmic_ray")])
+        with pytest.raises(ConfigError):
+            FaultSpec(kind="media_write_flip", bits=(512,)).validate()
+        with pytest.raises(ConfigError):
+            FaultSpec(kind="wq_drop", after_n=0).validate()
+
+
+class TestMediaWriteFlip:
+    """Bit flips in stored lines: ECC corrects or poisons, never
+    hands out garbage."""
+
+    def test_single_bit_corrected_and_healed(self):
+        # Write #53 is the *final* write to its (data) line in this
+        # seeded run, so the damage survives to the end of the stream.
+        plan = FaultPlan(seed=SEED, specs=[
+            FaultSpec("media_write_flip", after_n=53, bits=(13,))])
+        system, wl, injector = build(plan, NO_DEDUP_ECC)
+        run_full(system, wl)
+        [record] = injector.injected
+        addr = record["addr"]
+        assert addr in system.pipeline.by_name["ecc"].codes
+
+        # A fault-free twin (same seed) fixes the expected bytes.
+        twin_sys, twin_wl, _ = build(None, NO_DEDUP_ECC)
+        run_full(twin_sys, twin_wl)
+        expected = twin_sys.nvm.read_line(addr)
+        assert system.nvm.read_line(addr) != expected  # damage landed
+
+        degraded = DegradedModeManager(system)
+        assert degraded.read_line(addr) == expected
+        assert degraded.take_corrections() == [addr]
+        # Healed in place: the stored copy is clean now.
+        assert system.nvm.read_line(addr) == expected
+        again = DegradedModeManager(system)
+        assert again.read_line(addr) == expected
+        assert again.corrected == []
+
+        stats = counters(system)
+        assert stats["faults.injected_media_write_flip"] == 1
+        assert stats["faults.corrected_lines"] == 1
+        assert stats["faults.healed_writes"] == 1
+
+    def test_double_bit_poisons_line(self):
+        plan = FaultPlan(seed=SEED, specs=[
+            FaultSpec("media_write_flip", after_n=53, bits=(3, 9))])
+        system, wl, injector = build(plan, NO_DEDUP_ECC)
+        run_full(system, wl)
+        [record] = injector.injected
+        addr = record["addr"]
+
+        degraded = DegradedModeManager(system)
+        with pytest.raises(UncorrectableMediaError) as excinfo:
+            degraded.read_line(addr)
+        assert excinfo.value.line_addr == addr
+        assert addr in degraded.poisoned
+        # Poisoned: raises immediately, no more retries burned.
+        retries = counters(system)["faults.read_retries"]
+        with pytest.raises(UncorrectableMediaError):
+            degraded.read_line(addr)
+        assert counters(system)["faults.read_retries"] == retries
+        assert counters(system)["faults.poisoned_lines"] == 1
+
+    def test_sticky_cell_reapplies_after_heal(self):
+        plan = FaultPlan(seed=SEED, specs=[
+            FaultSpec("media_write_flip", after_n=6, bits=(13,),
+                      sticky=True)])
+        system, wl, injector = build(plan, NO_DEDUP_ECC)
+        run_full(system, wl)
+        [record] = injector.injected
+        assert record["sticky"] is True
+
+
+class TestRecoveryMediaPath:
+    """The recovery reader itself applies ECC to fetched ciphertext."""
+
+    def test_recovery_corrects_single_bit_data_damage(self):
+        system, wl, _ = build(None, NO_DEDUP_ECC)
+        run_full(system, wl)
+        digest_before = wl.logical_digest(system.volatile.read)
+        addr = wl.base  # first array item line
+        system.nvm.write_line(
+            addr, flip_bits(system.nvm.read_line(addr), (13,)))
+        snapshot = system.crash()
+        state = recover(snapshot,
+                        [(wl.log.base, wl.log.capacity)],
+                        verify_macs=True)
+        assert wl.logical_digest(state.read) == digest_before
+        assert addr in state.media_corrected
+
+    def test_recovery_rejects_uncorrectable_data_damage(self):
+        system, wl, _ = build(None, NO_DEDUP_ECC)
+        run_full(system, wl)
+        addr = wl.base
+        system.nvm.write_line(
+            addr, flip_bits(system.nvm.read_line(addr), (3, 9)))
+        snapshot = system.crash()
+        state = recover(snapshot,
+                        [(wl.log.base, wl.log.capacity)],
+                        verify_macs=True)
+        with pytest.raises(UncorrectableMediaError):
+            wl.logical_digest(state.read)
+        # The scrubber reports the same line as poisoned.
+        degraded = DegradedModeManager(system)
+        report = scrub(system, degraded=degraded)
+        assert addr in report.poisoned_lines
+        assert "POISONED" in report.render()
+
+
+class TestMediaReadTransient:
+    def test_retry_refetches_clean_bytes(self):
+        # Two flips in the same 64-bit word: the corrupted *copy* is
+        # detected-uncorrectable, so only the retry path can succeed.
+        plan = FaultPlan(seed=SEED, specs=[
+            FaultSpec("media_read_transient", after_n=1,
+                      bits=(5, 21))])
+        system, wl, injector = build(plan, NO_DEDUP_ECC)
+        run_full(system, wl)
+        addr = wl.base
+        expected = system.nvm.read_line(addr)
+
+        degraded = DegradedModeManager(system)
+        assert degraded.read_line(addr) == expected
+        assert injector.injected_of("media_read_transient")
+        assert degraded.corrected == []  # stored line was never bad
+        assert counters(system)["faults.read_retries"] >= 1
+
+
+class TestMetadataFaults:
+    def test_merkle_corruption_localised_by_scrub(self):
+        plan = FaultPlan(seed=SEED, specs=[
+            FaultSpec("meta_merkle", bits=(7,))])
+        system, wl, injector = build(plan)
+        run_full(system, wl)
+        system.crash()  # power-failure faults strike here
+        [record] = injector.injected
+        report = scrub(system)
+        assert report.merkle_failures == [record["leaf"]]
+        assert not report.clean
+        assert "MERKLE FAILURE" in report.render()
+
+    def test_counter_corruption_raises_integrity_error(self):
+        # No dedup: the counter table is the sole source of pad
+        # identity, so a bumped counter cannot be shadowed.
+        plan = FaultPlan(seed=SEED, specs=[
+            FaultSpec("meta_counter", bits=(0,))])
+        system, wl, injector = build(plan, NO_DEDUP)
+        run_full(system, wl)
+        snapshot = system.crash()
+        [record] = injector.injected
+        addr = record["addr"]
+        # The scrubber flags the line whose (pad, counter) lost its
+        # MAC — commits mint them atomically, so a gap means tamper.
+        report = scrub(system)
+        assert addr in report.mac_failures
+        # Recovery refuses the image: IntegrityError when the line is
+        # decrypted, or RecoveryError when the bumped line is in the
+        # log region (the scan treats it as damage and the commit
+        # probe refuses to roll back past it).
+        with pytest.raises((IntegrityError, RecoveryError)):
+            state = recover(snapshot,
+                            [(wl.log.base, wl.log.capacity)],
+                            verify_macs=True)
+            state.read_line(addr)
+
+
+class TestIrbFaults:
+    """IRB damage must be caught by write-time invalidation — the
+    final memory state matches a fault-free twin exactly."""
+
+    def _digest_after(self, plan):
+        system, wl, injector = build(plan)
+        run_full(system, wl)
+        return (wl.logical_digest(system.volatile.read), system,
+                injector)
+
+    def test_corrupt_entry_forces_recompute(self):
+        plan = FaultPlan(seed=SEED, specs=[
+            FaultSpec("irb_corrupt", after_n=2, bits=(17,))])
+        digest, system, injector = self._digest_after(plan)
+        clean_digest, _, _ = self._digest_after(None)
+        assert injector.injected_of("irb_corrupt")
+        assert digest == clean_digest
+        assert counters(system)["janus.data_mismatches"] >= 1
+
+    def test_stale_result_refreshed_not_consumed(self):
+        plan = FaultPlan(seed=SEED, specs=[
+            FaultSpec("irb_stale", after_n=2)])
+        digest, system, injector = self._digest_after(plan)
+        clean_digest, _, _ = self._digest_after(None)
+        assert injector.injected_of("irb_stale")
+        assert digest == clean_digest
+
+
+class TestAdrFaults:
+    """Dropped / torn lines at power loss: the log CRCs and MACs must
+    detect the hole — recovery lands on a committed boundary or
+    rejects, never silently diverges."""
+
+    @pytest.mark.parametrize("kind", ["wq_drop", "wq_tear"])
+    def test_never_silent(self, kind):
+        digests, _horizon = reference_trajectory(
+            "array_swap", "janus", PARAMS, SEED)
+        plan = FaultPlan(seed=SEED,
+                         specs=[FaultSpec(kind, after_n=1)])
+        record = run_crash_point("array_swap", "janus", PARAMS, SEED,
+                                 crash_at=0.0, plan=plan,
+                                 crash_on_accept=9)
+        assert record["injected"], "fault did not fire"
+        if record["result"] == "recovered":
+            # The damaged append was treated as a torn tail and the
+            # state rolled onto an earlier committed boundary.
+            assert record["prefix_ok"]
+            assert record["digest"] == digests[record["committed"]]
+            assert record["torn_log_lines"] >= 1
+        else:
+            assert record["result"].startswith("rejected:")
+
+
+class TestDeterminism:
+    def test_identical_plan_identical_injections(self):
+        plan = FaultPlan.seeded(SEED, ("media_write_flip",
+                                       "irb_corrupt"))
+        runs = []
+        for _ in range(2):
+            system, wl, injector = build(
+                FaultPlan.from_dict(plan.to_dict()), NO_DEDUP_ECC)
+            run_full(system, wl)
+            runs.append(injector.injected)
+        assert runs[0] == runs[1]

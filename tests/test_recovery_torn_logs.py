@@ -1,0 +1,236 @@
+"""Torn and truncated log tails — the parser/recovery contract.
+
+Built from synthetic NVM images (no encryption: counter 0 means raw
+bytes), these tests pin down exactly how recovery treats damage in a
+log region:
+
+* a record whose payload runs past the region, or whose header or
+  payload CRC fails, is a *torn tail*: the scan stops cleanly there,
+  earlier records still replay/roll back correctly, and no exception
+  or garbage restore escapes;
+* a *commit record beyond a damaged line* is different: the commit
+  protocol fences all of a transaction's records before its commit
+  persists, so this shape can only mean the persist-domain guarantee
+  failed — recovery must refuse (``RecoveryError``) rather than
+  silently roll back (undo) or drop (redo) a committed transaction;
+* a valid *backup/update* record beyond a gap is the normal mid-append
+  crash shape and must NOT trigger that refusal.
+"""
+
+import pytest
+
+from repro.common.errors import RecoveryError
+from repro.common.units import CACHE_LINE_BYTES
+from repro.consistency.recovery import RecoveredState
+from repro.consistency.redo_log import _RCOMMIT_MAGIC, _REDO_MAGIC
+from repro.consistency.undo_log import (
+    _BACKUP_MAGIC,
+    _COMMIT_MAGIC,
+    pack_record,
+)
+
+BASE = 0x1000
+CAPACITY = 16 * CACHE_LINE_BYTES
+TARGET_A = 0x8000
+TARGET_B = 0x8040
+
+OLD_A = b"\xAA" * CACHE_LINE_BYTES
+OLD_B = b"\xBB" * CACHE_LINE_BYTES
+NEW_A = b"\x11" * CACHE_LINE_BYTES
+NEW_B = b"\x22" * CACHE_LINE_BYTES
+GARBAGE = b"\xDE\xAD" * 32  # non-zero line with an invalid header CRC
+
+
+def make_state(lines, covered=()):
+    """A RecoveredState over raw lines.
+
+    ``covered`` marks line addresses the metadata knows were written
+    (counter 0 = plaintext) — the commit-beyond probe only inspects
+    covered lines.
+    """
+    metadata = {"encryption": {
+        "counters": {addr: 0 for addr in covered}, "macs": {}}}
+    return RecoveredState(dict(lines), metadata, verify_macs=True)
+
+
+def backup(txn_id, target, payload):
+    return pack_record(_BACKUP_MAGIC, txn_id, target, len(payload),
+                       payload=payload)
+
+
+def redo(txn_id, target, payload):
+    return pack_record(_REDO_MAGIC, txn_id, target, len(payload),
+                       payload=payload)
+
+
+class TestUndoTornTails:
+    def test_truncated_record_at_region_end_stops_cleanly(self):
+        # A backup header whose payload would run past the region:
+        # the append was cut off by the crash.  Clean stop, committed
+        # prefix intact.
+        tail = BASE + CAPACITY - CACHE_LINE_BYTES
+        lines = {
+            BASE: backup(1, TARGET_A, OLD_A),
+            BASE + 64: OLD_A,
+            BASE + 128: pack_record(_COMMIT_MAGIC, 1, 0, 0),
+            tail: backup(2, TARGET_B, OLD_B),  # no room for payload
+            TARGET_A: NEW_A,
+        }
+        state = make_state(lines)
+        undone = state.rollback_undo_log(BASE, CAPACITY)
+        assert undone == []
+        assert state.committed_txns == [1]
+        assert state.read(TARGET_A, 64) == NEW_A  # committed, kept
+
+    def test_torn_payload_stops_cleanly_without_garbage_restore(self):
+        # txn 2's backup header landed but its payload did not: the
+        # payload CRC fails, the scan stops, and TARGET_B is never
+        # "restored" from the half-written payload line.
+        lines = {
+            BASE: backup(1, TARGET_A, OLD_A),
+            BASE + 64: OLD_A,
+            BASE + 128: pack_record(_COMMIT_MAGIC, 1, 0, 0),
+            BASE + 192: backup(2, TARGET_B, OLD_B),
+            BASE + 256: GARBAGE,  # payload never fully landed
+            TARGET_A: NEW_A,
+            TARGET_B: OLD_B,
+        }
+        state = make_state(lines)
+        undone = state.rollback_undo_log(BASE, CAPACITY)
+        assert undone == []
+        assert state.committed_txns == [1]
+        assert state.read(TARGET_B, 64) == OLD_B  # untouched
+
+    def test_torn_header_stops_cleanly(self):
+        lines = {
+            BASE: backup(1, TARGET_A, OLD_A),
+            BASE + 64: OLD_A,
+            BASE + 128: GARBAGE,  # torn header line: tail ends here
+            TARGET_A: NEW_A,
+        }
+        state = make_state(lines)
+        # txn 1 has no commit record: rolled back from its backup.
+        undone = state.rollback_undo_log(BASE, CAPACITY)
+        assert undone == [1]
+        assert state.read(TARGET_A, 64) == OLD_A
+
+    def test_commit_beyond_damage_refuses_rollback(self):
+        # txn 1's commit record is durable past a damaged line.  The
+        # commit fenced on every earlier record, so the damage means
+        # ADR failed — refusing beats silently rolling back txn 1.
+        commit_addr = BASE + 192
+        lines = {
+            BASE: backup(1, TARGET_A, OLD_A),
+            BASE + 64: OLD_A,
+            BASE + 128: GARBAGE,  # a log record ADR dropped/tore
+            commit_addr: pack_record(_COMMIT_MAGIC, 1, 0, 0),
+            TARGET_A: NEW_A,
+        }
+        state = make_state(lines, covered=(commit_addr,))
+        with pytest.raises(RecoveryError, match="damaged log line"):
+            state.rollback_undo_log(BASE, CAPACITY)
+
+    def test_backup_beyond_damage_is_a_normal_torn_tail(self):
+        # Same gap, but the record beyond it is a *backup* — exactly
+        # what an interrupted multi-record append leaves behind (the
+        # writeback of an earlier line can retire after a later one).
+        # No refusal; the tail is discarded and txn 1 rolls back.
+        later = BASE + 192
+        lines = {
+            BASE: backup(1, TARGET_A, OLD_A),
+            BASE + 64: OLD_A,
+            BASE + 128: GARBAGE,
+            later: backup(1, TARGET_B, OLD_B),
+            later + 64: OLD_B,
+            TARGET_A: NEW_A,
+            TARGET_B: NEW_B,
+        }
+        state = make_state(lines, covered=(later, later + 64))
+        undone = state.rollback_undo_log(BASE, CAPACITY)
+        assert undone == [1]
+        assert state.read(TARGET_A, 64) == OLD_A
+        # The discarded tail record must NOT have been applied.
+        assert state.read(TARGET_B, 64) == NEW_B
+
+
+class TestRedoTornTails:
+    def test_truncated_tail_drops_uncommitted_update(self):
+        tail = BASE + CAPACITY - CACHE_LINE_BYTES
+        lines = {
+            BASE: redo(1, TARGET_A, NEW_A),
+            BASE + 64: NEW_A,
+            BASE + 128: pack_record(_RCOMMIT_MAGIC, 1, 0, 0),
+            tail: redo(2, TARGET_B, NEW_B),  # payload past the end
+            TARGET_A: OLD_A,
+            TARGET_B: OLD_B,
+        }
+        state = make_state(lines)
+        replayed = state.replay_redo_log(BASE, CAPACITY)
+        assert replayed == [1]
+        assert state.read(TARGET_A, 64) == NEW_A  # replayed
+        assert state.read(TARGET_B, 64) == OLD_B  # never committed
+
+    def test_torn_payload_stops_cleanly(self):
+        lines = {
+            BASE: redo(1, TARGET_A, NEW_A),
+            BASE + 64: NEW_A,
+            BASE + 128: pack_record(_RCOMMIT_MAGIC, 1, 0, 0),
+            BASE + 192: redo(2, TARGET_B, NEW_B),
+            BASE + 256: GARBAGE,  # payload torn
+            TARGET_A: OLD_A,
+            TARGET_B: OLD_B,
+        }
+        state = make_state(lines)
+        assert state.replay_redo_log(BASE, CAPACITY) == [1]
+        assert state.read(TARGET_B, 64) == OLD_B
+
+    def test_commit_beyond_damage_refuses_replay(self):
+        # A durable redo commit past a damaged update record: without
+        # the refusal, txn 1's updates would be silently dropped even
+        # though it committed.
+        commit_addr = BASE + 192
+        lines = {
+            BASE: redo(1, TARGET_A, NEW_A),
+            BASE + 64: NEW_A,
+            BASE + 128: GARBAGE,  # damaged update record
+            commit_addr: pack_record(_RCOMMIT_MAGIC, 1, 0, 0),
+            TARGET_A: OLD_A,
+        }
+        state = make_state(lines, covered=(commit_addr,))
+        with pytest.raises(RecoveryError, match="damaged log line"):
+            state.replay_redo_log(BASE, CAPACITY)
+
+    def test_update_beyond_damage_is_a_normal_torn_tail(self):
+        later = BASE + 192
+        lines = {
+            BASE: redo(1, TARGET_A, NEW_A),
+            BASE + 64: NEW_A,
+            BASE + 128: GARBAGE,
+            later: redo(1, TARGET_B, NEW_B),
+            later + 64: NEW_B,
+            TARGET_A: OLD_A,
+            TARGET_B: OLD_B,
+        }
+        state = make_state(lines, covered=(later, later + 64))
+        assert state.replay_redo_log(BASE, CAPACITY) == []
+        assert state.read(TARGET_A, 64) == OLD_A  # nothing committed
+        assert state.read(TARGET_B, 64) == OLD_B
+
+
+class TestScanReaderDamage:
+    def test_damaged_log_line_recorded_as_torn(self):
+        # A line that fails verification *while scanning* is recorded
+        # in ``torn_log_lines`` rather than raising mid-scan.
+        lines = {
+            BASE: backup(1, TARGET_A, OLD_A),
+            BASE + 64: OLD_A,
+            TARGET_A: NEW_A,
+        }
+        state = make_state(lines)
+        # Force an integrity failure on the line after the payload by
+        # giving it a MAC-covered pad with no MAC at its counter.
+        state._counters[BASE + 128] = 3
+        state._pads_with_macs.add(BASE + 128)
+        undone = state.rollback_undo_log(BASE, CAPACITY)
+        assert undone == [1]
+        assert BASE + 128 in state.torn_log_lines

@@ -9,6 +9,7 @@ from repro.consistency.undo_log import (
     _BACKUP_MAGIC,
     _COMMIT_MAGIC,
     _HEADER,
+    pack_record,
     parse_log,
 )
 from repro.core import NvmSystem
@@ -55,13 +56,23 @@ class TestRecordLayout:
             log.base, log.capacity)) == []
 
     def test_corrupt_backup_size_raises(self):
+        # A CRC-valid record with an insane size field is *corrupt*
+        # (not torn) and must raise, not be skipped.
         system, log = make_log()
-        bogus = _HEADER.pack(_BACKUP_MAGIC, 1, 0x40, 0)
-        system.volatile.write(log.base,
-                              bogus.ljust(64, b"\x00"))
+        bogus = pack_record(_BACKUP_MAGIC, 1, 0x40, 0)
+        system.volatile.write(log.base, bogus)
         with pytest.raises(RecoveryError):
             list(parse_log(lambda a: system.volatile.read(a, 64),
                            log.base, log.capacity))
+
+    def test_bad_header_crc_stops_cleanly(self):
+        # The same bogus fields *without* a valid CRC look like a torn
+        # header: the parser stops cleanly instead of raising.
+        system, log = make_log()
+        bogus = _HEADER.pack(_BACKUP_MAGIC, 1, 0x40, 0)
+        system.volatile.write(log.base, bogus.ljust(64, b"\x00"))
+        assert list(parse_log(lambda a: system.volatile.read(a, 64),
+                              log.base, log.capacity)) == []
 
 
 class TestReserveAndPrediction:
