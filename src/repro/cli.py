@@ -33,6 +33,11 @@ Commands
     and mode, recover + scrub each, run the fault-class scenarios,
     write ``results/CRASHTEST_<date>.json``, and fail (exit 1) on any
     invariant violation (digest mismatch, commit gap, silent fault).
+
+The sweep commands (``figure``, ``crashtest``, ``bench``) accept
+``--jobs N`` to shard their independent simulation points across
+worker processes (:mod:`repro.harness.parallel`); output is
+byte-identical at any job count.  ``$REPRO_JOBS`` sets the default.
 """
 
 import argparse
@@ -44,22 +49,54 @@ from repro.harness.report import Table
 from repro.harness.runner import run_point, speedup_over
 from repro.workloads import WORKLOADS, WorkloadParams
 
+def _static(fn):
+    """Adapt a no-sweep figure driver to the (scale, jobs, progress)
+    calling convention — it has no point set to shard."""
+    return lambda scale, jobs, progress: fn()
+
+
 FIGURES = {
-    "table1": lambda scale: experiments.table1_bmo_catalog(),
-    "fig3": lambda scale: experiments.fig3_timeline(),
-    "fig6": lambda scale: experiments.fig6_dependency_graph(),
-    "fig9": lambda scale: experiments.fig9_multicore(scale=scale),
-    "fig10": lambda scale: experiments.fig10_ideal_comparison(
-        scale=scale),
-    "fig11": lambda scale: experiments.fig11_compiler(scale=scale),
-    "fig12": lambda scale: experiments.fig12_dedup(scale=scale),
-    "fig13": lambda scale: experiments.fig13_transaction_size(
-        scale=scale),
-    "fig14": lambda scale: experiments.fig14_resources(scale=scale),
-    "overhead": lambda scale: experiments.overhead_analysis(),
-    "composition": lambda scale: experiments.bmo_composition(
-        scale=scale),
+    "table1": _static(experiments.table1_bmo_catalog),
+    "fig3": _static(experiments.fig3_timeline),
+    "fig6": _static(experiments.fig6_dependency_graph),
+    "fig9": lambda scale, jobs, progress: experiments.fig9_multicore(
+        scale=scale, jobs=jobs, progress=progress),
+    "fig10": lambda scale, jobs, progress:
+        experiments.fig10_ideal_comparison(
+            scale=scale, jobs=jobs, progress=progress),
+    "fig11": lambda scale, jobs, progress: experiments.fig11_compiler(
+        scale=scale, jobs=jobs, progress=progress),
+    "fig12": lambda scale, jobs, progress: experiments.fig12_dedup(
+        scale=scale, jobs=jobs, progress=progress),
+    "fig13": lambda scale, jobs, progress:
+        experiments.fig13_transaction_size(
+            scale=scale, jobs=jobs, progress=progress),
+    "fig14": lambda scale, jobs, progress:
+        experiments.fig14_resources(
+            scale=scale, jobs=jobs, progress=progress),
+    "overhead": _static(experiments.overhead_analysis),
+    "composition": lambda scale, jobs, progress:
+        experiments.bmo_composition(
+            scale=scale, jobs=jobs, progress=progress),
 }
+
+
+def _add_jobs_arg(parser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for independent simulation points "
+             "(default: $REPRO_JOBS, then the CPU count; 1 = inline, "
+             "no processes).  Output is byte-identical at any job "
+             "count.")
+
+
+def _progress_for(args, label):
+    """A live progress callback when the sweep will actually fan out;
+    ``None`` otherwise (inline runs stay silent on stderr)."""
+    from repro.harness.parallel import progress_line, resolve_jobs
+    if resolve_jobs(args.jobs) > 1:
+        return progress_line(label)
+    return None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -75,6 +112,10 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale", type=float, default=0.5)
     figure.add_argument("--chart", action="store_true",
                         help="also render as bars (fig9/fig11)")
+    figure.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the rendered figure to PATH "
+                             "(parent directories are created)")
+    _add_jobs_arg(figure)
 
     def add_workload_args(p, modes=True):
         p.add_argument("workload", choices=sorted(WORKLOADS))
@@ -96,6 +137,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           " JSON timeline of the run")
     run.add_argument("--stats", metavar="PATH", default=None,
                      help="write the full metrics snapshot as JSON")
+    run.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="accepted for interface uniformity with the "
+                          "sweep commands; a single design point "
+                          "always runs inline")
 
     stats = sub.add_parser(
         "stats", help="pretty-print or diff stats snapshots")
@@ -141,6 +186,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "below this (default 2.0)")
     bench.add_argument("--no-write", action="store_true",
                        help="do not write the report JSON")
+    bench.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the per-workload "
+                            "benches (default 1: concurrent benches "
+                            "contend for cores, so the regression "
+                            "gate and committed baselines are always "
+                            "jobs=1)")
 
     scrub = sub.add_parser(
         "scrub", help="crash, recover, and scrub one workload")
@@ -176,6 +227,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "DIR/CRASHTEST_<date>.json)")
     crashtest.add_argument("--no-write", action="store_true",
                            help="do not write the report JSON")
+    _add_jobs_arg(crashtest)
     return parser
 
 
@@ -192,16 +244,27 @@ def cmd_figures(_args) -> int:
 
 
 def cmd_figure(args) -> int:
-    result = FIGURES[args.name](args.scale)
+    result = FIGURES[args.name](
+        args.scale, args.jobs,
+        _progress_for(args, f"figure {args.name}"))
+    rendered = [result.rendered]
     print(result.rendered)
     if getattr(args, "chart", False):
         from repro.harness.plot import fig9_chart, fig11_chart
+        chart = None
         if args.name == "fig9":
-            print()
-            print(fig9_chart(result.data))
+            chart = fig9_chart(result.data)
         elif args.name == "fig11":
+            chart = fig11_chart(result.data)
+        if chart is not None:
             print()
-            print(fig11_chart(result.data))
+            print(chart)
+            rendered.append("")
+            rendered.append(chart)
+    if args.out:
+        from repro.harness.report import write_text
+        write_text("\n".join(rendered), args.out)
+        print(f"figure -> {args.out}")
     return 0
 
 
@@ -221,12 +284,14 @@ def cmd_run(args) -> int:
     for key in sorted(result.stats):
         print(f"  {key:40s} {result.stats[key]:.2f}")
     if args.trace:
+        from repro.harness.report import ensure_parent
         from repro.obs import export_chrome_trace
-        export_chrome_trace(tracer, path=args.trace)
+        export_chrome_trace(tracer, path=ensure_parent(args.trace))
         print(f"  trace: {len(tracer)} events -> {args.trace} "
               f"(open in ui.perfetto.dev)")
     if args.stats:
-        with open(args.stats, "w") as handle:
+        from repro.harness.report import ensure_parent
+        with open(ensure_parent(args.stats), "w") as handle:
             json.dump(result.snapshot, handle, indent=2, sort_keys=True)
         print(f"  stats snapshot -> {args.stats}")
     return 0
@@ -328,7 +393,9 @@ def cmd_bench(args) -> int:
     directory = args.dir if args.dir is not None else bench.DEFAULT_DIR
     out = args.out if args.out is not None \
         else bench.bench_path(directory)
-    report = bench.run_bench(quick=args.quick)
+    report = bench.run_bench(
+        quick=args.quick, jobs=args.jobs,
+        progress=_progress_for(args, "bench"))
 
     baseline = None
     if args.compare == "auto":
@@ -449,7 +516,8 @@ def cmd_crashtest(args) -> int:
     if args.no_scenarios:
         config.fault_scenarios = False
 
-    report = cc.run_campaign(config)
+    report = cc.run_campaign(config, jobs=args.jobs,
+                             progress=_progress_for(args, "crashtest"))
     print(cc.render_summary(report))
     if not args.no_write:
         directory = args.dir if args.dir is not None else cc.DEFAULT_DIR

@@ -7,13 +7,23 @@ reports; the files under ``benchmarks/`` are thin pytest-benchmark
 wrappers around them.
 """
 
+from repro.harness.parallel import (
+    ParallelExecutor,
+    SweepTask,
+    TaskResult,
+    resolve_jobs,
+)
 from repro.harness.report import Table, format_series
 from repro.harness.runner import ExperimentResult, run_point, speedup_over
 
 __all__ = [
     "ExperimentResult",
+    "ParallelExecutor",
+    "SweepTask",
     "Table",
+    "TaskResult",
     "format_series",
+    "resolve_jobs",
     "run_point",
     "speedup_over",
 ]

@@ -210,17 +210,31 @@ def bench_irb_micro(resident: int = 384, ops: int = 4000,
 
 # -- the full report -----------------------------------------------------
 def run_bench(quick: bool = False, seed: int = 0,
-              workloads: Optional[List[str]] = None) -> Dict:
-    """Run the whole suite and return a ``repro-bench-v1`` report."""
+              workloads: Optional[List[str]] = None,
+              jobs: int = 1, progress=None) -> Dict:
+    """Run the whole suite and return a ``repro-bench-v1`` report.
+
+    ``jobs`` shards the per-workload benches (each a sealed repeated
+    run) across worker processes via :mod:`repro.harness.parallel`.
+    The default stays 1 — this is a *timing* harness, and concurrent
+    benches contend for cores, so the CI regression gate and the
+    committed baselines always use ``jobs=1``; ``jobs>1`` is for
+    quick exploratory sweeps where relative numbers suffice.
+    """
+    from repro.harness.parallel import ParallelExecutor, SweepTask
+
     names = list(workloads) if workloads else sorted(WORKLOADS)
     txns = 6 if quick else 24
     # Quick runs are short enough that a single sample is noisy on
     # shared CI runners; best-of-2 keeps the regression gate stable.
     repeats = 2
-    per_workload: Dict[str, Dict] = {}
-    for name in names:
-        per_workload[name] = bench_workload(name, txns=txns,
-                                            repeats=repeats)
+    executor = ParallelExecutor(jobs=jobs, progress=progress)
+    results = executor.map_values(
+        [SweepTask(key=(name,), fn="repro.harness.bench:bench_workload",
+                   kwargs=dict(name=name, txns=txns, repeats=repeats))
+         for name in names], strict=True)
+    per_workload: Dict[str, Dict] = {
+        name: results[(name,)] for name in names}
     micro = bench_irb_micro(
         resident=256 if quick else 384,
         ops=1500 if quick else 4000,
@@ -234,6 +248,7 @@ def run_bench(quick: bool = False, seed: int = 0,
         "meta": {
             "date": datetime.date.today().isoformat(),
             "quick": quick,
+            "jobs": executor.jobs,
             "txns": txns,
             "python": platform.python_version(),
             "platform": platform.platform(),

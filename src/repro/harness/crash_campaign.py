@@ -30,7 +30,12 @@ in ``violations``.
 
 Reports are deterministic: identical seed + config produce a
 byte-identical JSON document (no timestamps in the body — the date
-lives only in the file name).
+lives only in the file name).  Every simulation point (reference
+trajectory, crash point, fault scenario) is a sealed seeded run, so
+the campaign shards them across worker processes through
+:mod:`repro.harness.parallel` (``jobs``/``--jobs``/``$REPRO_JOBS``)
+and assembles the report in sweep order — the bytes are identical at
+any job count.
 """
 
 import json
@@ -45,11 +50,16 @@ from repro.consistency import recover, scrub
 from repro.core import NvmSystem
 from repro.faults import DegradedModeManager, FaultInjector, FaultPlan, \
     FaultSpec
+from repro.harness.parallel import ParallelExecutor, SweepTask, TaskResult
 from repro.workloads import WORKLOADS, WorkloadParams, make_workload
 
 SCHEMA = "repro-crashtest-v1"
 DEFAULT_DIR = "results"
 DEFAULT_MODES = ("serialized", "janus")
+#: Worker entry points, resolved by dotted path inside each worker.
+_REFERENCE_FN = "repro.harness.crash_campaign:reference_trajectory"
+_CRASH_POINT_FN = "repro.harness.crash_campaign:run_crash_point"
+_SCENARIO_FN = "repro.harness.crash_campaign:run_fault_scenario"
 #: BMO set used by the fault scenarios: every metadata store plus ECC,
 #: so media faults exercise correction *and* poisoning.
 FAULT_BMOS = ("dedup", "encryption", "integrity", "ecc")
@@ -344,9 +354,34 @@ def run_fault_scenario(label: str, kind: str, spec_kwargs: Dict,
 
 
 # -- the campaign ------------------------------------------------------------
-def run_campaign(config: Optional[CampaignConfig] = None) -> Dict:
-    """Run the full campaign; returns the (deterministic) report."""
+def _crash_times(config: CampaignConfig, name: str, mode: str,
+                 horizon: float) -> List[float]:
+    """The seeded crash times for one workload x mode sweep."""
+    rng = DeterministicRng(config.seed).stream(
+        f"crash-points-{name}-{mode}")
+    return [max(1.0, (i + rng.random()) / config.points * horizon)
+            for i in range(config.points)]
+
+
+def run_campaign(config: Optional[CampaignConfig] = None,
+                 jobs: Optional[int] = None,
+                 timeout_s: Optional[float] = None,
+                 progress=None) -> Dict:
+    """Run the full campaign; returns the (deterministic) report.
+
+    ``jobs`` shards the independent simulation points (reference
+    trajectories, crash points, fault scenarios) across worker
+    processes via :mod:`repro.harness.parallel`.  Every point is a
+    sealed seeded run and the report is assembled in sweep order, so
+    the JSON document is **byte-identical for any job count** —
+    including ``jobs=1``, which runs inline with no processes at all.
+    A point that still fails after the executor's bounded retries
+    (or exceeds ``timeout_s``) is recorded as a ``failed:`` result
+    plus a ``point-failed`` violation instead of sinking the sweep.
+    """
     config = config or CampaignConfig()
+    executor = ParallelExecutor(jobs=jobs, timeout_s=timeout_s,
+                                progress=progress)
     report: Dict = {
         "schema": SCHEMA,
         "config": config.to_dict(),
@@ -355,15 +390,50 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> Dict:
         "violations": [],
     }
     violations: List[Dict] = report["violations"]
+    params = config.params()
+    pairs = [(name, mode) for name in config.workloads
+             for mode in config.modes]
 
+    # Phase 1 — reference trajectories (one per workload x mode).
+    # These anchor every downstream check, so a failure here is fatal.
+    references = executor.map_values([
+        SweepTask(key=(name, mode), fn=_REFERENCE_FN,
+                  kwargs=dict(name=name, mode=mode, params=params,
+                              seed=config.seed))
+        for name, mode in pairs], strict=True)
+
+    # Phase 2 — every crash point of every sweep, one task each.
+    point_tasks = []
+    crash_ats: Dict[Tuple, float] = {}
+    for name, mode in pairs:
+        _digests, horizon = references[(name, mode)]
+        for i, crash_at in enumerate(
+                _crash_times(config, name, mode, horizon)):
+            crash_ats[(name, mode, i)] = crash_at
+            point_tasks.append(SweepTask(
+                key=(name, mode, i), fn=_CRASH_POINT_FN,
+                kwargs=dict(name=name, mode=mode, params=params,
+                            seed=config.seed, crash_at=crash_at)))
+    point_results = {r.key: r for r in executor.map(point_tasks)}
+
+    # Phase 3 — fault-class scenarios.
+    scenario_results: Dict[str, "TaskResult"] = {}
+    if config.fault_scenarios:
+        scenario_results = {r.key[0]: r for r in executor.map([
+            SweepTask(key=(label,), fn=_SCENARIO_FN,
+                      kwargs=dict(label=label, kind=kind,
+                                  spec_kwargs=dict(spec_kwargs),
+                                  bmos=bmos, config=config))
+            for label, kind, spec_kwargs, bmos, _note
+            in FAULT_SCENARIOS])}
+
+    # Assembly — strictly in sweep order, never completion order.
     for name in config.workloads:
-        params = config.params()
         entry: Dict = {"modes": {}}
         report["workloads"][name] = entry
         reference: Optional[Dict[int, str]] = None
         for mode in config.modes:
-            digests, horizon = reference_trajectory(
-                name, mode, params, config.seed)
+            digests, horizon = references[(name, mode)]
             if reference is None:
                 reference = digests
             elif digests != reference:
@@ -373,14 +443,17 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> Dict:
                     "detail": "reference trajectory differs from "
                               f"{config.modes[0]}",
                 })
-            rng = DeterministicRng(config.seed).stream(
-                f"crash-points-{name}-{mode}")
             points = []
             for i in range(config.points):
-                fraction = (i + rng.random()) / config.points
-                crash_at = max(1.0, fraction * horizon)
-                record = run_crash_point(name, mode, params,
-                                         config.seed, crash_at)
+                crash_at = crash_ats[(name, mode, i)]
+                outcome = point_results[(name, mode, i)]
+                if not outcome.ok:
+                    record = {"crash_at": crash_at, "mode": mode,
+                              "result": "failed:" +
+                              outcome.error.split(":", 1)[0],
+                              "error": outcome.error}
+                else:
+                    record = outcome.value
                 record["point"] = i
                 if record["result"] == "recovered":
                     expected = digests.get(record["committed"])
@@ -399,10 +472,14 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> Dict:
                             })
                 else:
                     # No faults are injected in the main sweep, so a
-                    # rejection here is itself a violation.
+                    # rejection here is itself a violation; a point
+                    # whose *simulation* failed (worker raised or
+                    # timed out after retries) is one too.
                     violations.append({
                         "workload": name, "mode": mode, "point": i,
-                        "kind": "recovery-rejected",
+                        "kind": "point-failed"
+                        if record["result"].startswith("failed:")
+                        else "recovery-rejected",
                         "detail": record.get("error", ""),
                         "crash_at": crash_at,
                     })
@@ -415,9 +492,20 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> Dict:
             }
 
     if config.fault_scenarios:
-        for label, kind, spec_kwargs, bmos, note in FAULT_SCENARIOS:
-            record = run_fault_scenario(label, kind, dict(spec_kwargs),
-                                        bmos, config)
+        for label, _kind, _spec_kwargs, _bmos, note in FAULT_SCENARIOS:
+            outcome = scenario_results[label]
+            if not outcome.ok:
+                record = {"label": label,
+                          "result": "failed:" +
+                          outcome.error.split(":", 1)[0],
+                          "error": outcome.error,
+                          "accounted": False}
+                violations.append({
+                    "kind": "scenario-failed", "scenario": label,
+                    "detail": outcome.error,
+                })
+            else:
+                record = outcome.value
             record["note"] = note
             report["fault_scenarios"].append(record)
             if record.get("silent"):

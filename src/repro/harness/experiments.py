@@ -5,15 +5,22 @@ evaluation and returns a :class:`FigureResult` whose ``rendered`` text
 carries the same rows/series the paper reports.  The ``scale``
 parameter trades fidelity for runtime (benchmarks use small scales;
 the examples use larger ones).
+
+Every parameter sweep (fig9-fig14, the composition ablation) first
+builds an *ordered* list of design-point specs, executes them through
+:mod:`repro.harness.parallel` (``jobs`` worker processes — each point
+is a sealed, seeded simulation), and then assembles rows **in spec
+order**, so the rendered table is byte-identical at any job count.
 """
 
 import dataclasses
 from dataclasses import dataclass, field as dc_field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bmo import build_pipeline
 from repro.bmo.base import ExternalInput
 from repro.common.config import DedupConfig, default_config
+from repro.harness.parallel import ParallelExecutor, SweepTask
 from repro.harness.report import Table, arithmetic_mean
 from repro.harness.runner import (
     ExperimentResult,
@@ -48,6 +55,29 @@ def _params(scale: float, value_size: int = 64,
         n_transactions=max(4, int(24 * scale)),
         dedup_ratio=dedup_ratio,
     )
+
+
+#: Worker entry point for every figure sweep (resolved in the worker).
+_RUN_POINT = "repro.harness.runner:run_point"
+
+#: ``(key, run_point kwargs)`` — the unit every sweep is built from.
+PointSpec = Tuple[Tuple, Dict]
+
+
+def _sweep_points(specs: List[PointSpec],
+                  jobs: Optional[int] = None,
+                  progress: Optional[Callable[[int, int, int], None]]
+                  = None) -> Dict[Tuple, ExperimentResult]:
+    """Run an ordered spec list; return ``key -> ExperimentResult``.
+
+    A figure with missing points is useless, so a point that still
+    fails after the executor's bounded retries raises (strict mode)
+    rather than rendering a partial table.
+    """
+    tasks = [SweepTask(key=key, fn=_RUN_POINT, kwargs=kwargs)
+             for key, kwargs in specs]
+    executor = ParallelExecutor(jobs=jobs, progress=progress)
+    return executor.map_values(tasks, strict=True)
 
 
 # ---------------------------------------------------------------------------
@@ -145,22 +175,31 @@ def fig6_dependency_graph() -> FigureResult:
 
 def fig9_multicore(scale: float = 1.0,
                    core_counts=(1, 2, 4, 8),
-                   workloads: Optional[List[str]] = None) -> FigureResult:
+                   workloads: Optional[List[str]] = None,
+                   jobs: Optional[int] = None,
+                   progress=None) -> FigureResult:
     """Speedup of parallelization and Janus over serialized."""
     workloads = workloads or ALL_WORKLOADS
     params = _params(scale)
+    specs: List[PointSpec] = []
+    for name in workloads:
+        for cores in core_counts:
+            for mode, variant in (("serialized", None),
+                                  ("parallel", None),
+                                  ("janus", "manual")):
+                specs.append(((name, cores, mode), dict(
+                    workload=name, mode=mode, variant=variant,
+                    cores=cores, params=params)))
+    points = _sweep_points(specs, jobs=jobs, progress=progress)
     table = Table(
         "Fig. 9: speedup over the serialized design",
         ["workload", "cores", "parallelization", "pre-execution"])
     data: Dict = {}
     for name in workloads:
         for cores in core_counts:
-            ser = run_point(name, mode="serialized", cores=cores,
-                            params=params)
-            par = run_point(name, mode="parallel", cores=cores,
-                            params=params)
-            jan = run_point(name, mode="janus", variant="manual",
-                            cores=cores, params=params)
+            ser = points[(name, cores, "serialized")]
+            par = points[(name, cores, "parallel")]
+            jan = points[(name, cores, "janus")]
             s_par = speedup_over(ser, par)
             s_jan = speedup_over(ser, jan)
             data.setdefault(name, {})[cores] = (s_par, s_jan)
@@ -178,21 +217,29 @@ def fig9_multicore(scale: float = 1.0,
 # ---------------------------------------------------------------------------
 
 def fig10_ideal_comparison(scale: float = 1.0,
-                           workloads: Optional[List[str]] = None
-                           ) -> FigureResult:
+                           workloads: Optional[List[str]] = None,
+                           jobs: Optional[int] = None,
+                           progress=None) -> FigureResult:
     """Serialized and Janus slowdown over the ideal design, plus the
     fraction of writes whose BMOs were completely pre-executed."""
     workloads = workloads or ALL_WORKLOADS
     params = _params(scale)
+    specs: List[PointSpec] = []
+    for name in workloads:
+        for mode, variant in (("serialized", None),
+                              ("janus", "manual"), ("ideal", None)):
+            specs.append(((name, mode), dict(
+                workload=name, mode=mode, variant=variant,
+                params=params)))
+    points = _sweep_points(specs, jobs=jobs, progress=progress)
     table = Table(
         "Fig. 10: slowdown over non-blocking writeback (ideal)",
         ["workload", "serialized", "janus", "fully pre-executed"])
     data: Dict = {}
     for name in workloads:
-        ser = run_point(name, mode="serialized", params=params)
-        jan = run_point(name, mode="janus", variant="manual",
-                        params=params)
-        ideal = run_point(name, mode="ideal", params=params)
+        ser = points[(name, "serialized")]
+        jan = points[(name, "janus")]
+        ideal = points[(name, "ideal")]
         slow_ser = ser.elapsed_ns / ideal.elapsed_ns
         slow_jan = jan.elapsed_ns / ideal.elapsed_ns
         full = (jan.stats.get("janus.fully_pre_executed", 0)
@@ -214,8 +261,9 @@ def fig10_ideal_comparison(scale: float = 1.0,
 
 def fig11_compiler(scale: float = 1.0,
                    workloads: Optional[List[str]] = None,
-                   include_profile_guided: bool = False
-                   ) -> FigureResult:
+                   include_profile_guided: bool = False,
+                   jobs: Optional[int] = None,
+                   progress=None) -> FigureResult:
     """Manual vs. compiler-pass instrumentation speedups.
 
     ``include_profile_guided`` adds the §6 dynamic-analysis extension
@@ -224,6 +272,17 @@ def fig11_compiler(scale: float = 1.0,
     """
     workloads = workloads or ALL_WORKLOADS
     params = _params(scale)
+    variants = [("serialized", None), ("janus", "manual"),
+                ("janus", "auto")]
+    if include_profile_guided:
+        variants.append(("janus", "profile"))
+    specs: List[PointSpec] = []
+    for name in workloads:
+        for mode, variant in variants:
+            specs.append(((name, mode, variant), dict(
+                workload=name, mode=mode, variant=variant,
+                params=params)))
+    points = _sweep_points(specs, jobs=jobs, progress=progress)
     columns = ["workload", "manual", "auto"]
     if include_profile_guided:
         columns.append("profile-guided")
@@ -233,18 +292,15 @@ def fig11_compiler(scale: float = 1.0,
         columns)
     data: Dict = {}
     for name in workloads:
-        ser = run_point(name, mode="serialized", params=params)
-        manual = run_point(name, mode="janus", variant="manual",
-                           params=params)
-        auto = run_point(name, mode="janus", variant="auto",
-                         params=params)
+        ser = points[(name, "serialized", None)]
+        manual = points[(name, "janus", "manual")]
+        auto = points[(name, "janus", "auto")]
         s_manual = speedup_over(ser, manual)
         s_auto = speedup_over(ser, auto)
         data[name] = {"manual": s_manual, "auto": s_auto}
         row = [name, s_manual, s_auto]
         if include_profile_guided:
-            profile = run_point(name, mode="janus", variant="profile",
-                                params=params)
+            profile = points[(name, "janus", "profile")]
             data[name]["profile"] = speedup_over(ser, profile)
             row.append(data[name]["profile"])
         row.append(s_auto / s_manual)
@@ -267,13 +323,12 @@ def fig11_compiler(scale: float = 1.0,
 def fig12_dedup(scale: float = 1.0,
                 ratios=(0.25, 0.5, 0.75),
                 algorithms=("md5", "crc32"),
-                workloads: Optional[List[str]] = None) -> FigureResult:
+                workloads: Optional[List[str]] = None,
+                jobs: Optional[int] = None,
+                progress=None) -> FigureResult:
     """Janus speedup under different dedup ratios and algorithms."""
     workloads = workloads or ALL_WORKLOADS
-    table = Table(
-        "Fig. 12: Janus speedup vs. dedup ratio and fingerprint",
-        ["workload", "algorithm", "ratio", "speedup"])
-    data: Dict = {}
+    specs: List[PointSpec] = []
     for name in workloads:
         for algorithm in algorithms:
             for ratio in ratios:
@@ -281,10 +336,23 @@ def fig12_dedup(scale: float = 1.0,
                 cfg = cfg.replace(dedup=DedupConfig(
                     target_ratio=ratio, algorithm=algorithm))
                 params = _params(scale, dedup_ratio=ratio)
-                ser = run_point(name, mode="serialized", params=params,
-                                config=cfg)
-                jan = run_point(name, mode="janus", variant="manual",
-                                params=params, config=cfg)
+                base = dict(workload=name, params=params, config=cfg)
+                specs.append((
+                    (name, algorithm, ratio, "serialized"),
+                    dict(base, mode="serialized")))
+                specs.append((
+                    (name, algorithm, ratio, "janus"),
+                    dict(base, mode="janus", variant="manual")))
+    points = _sweep_points(specs, jobs=jobs, progress=progress)
+    table = Table(
+        "Fig. 12: Janus speedup vs. dedup ratio and fingerprint",
+        ["workload", "algorithm", "ratio", "speedup"])
+    data: Dict = {}
+    for name in workloads:
+        for algorithm in algorithms:
+            for ratio in ratios:
+                ser = points[(name, algorithm, ratio, "serialized")]
+                jan = points[(name, algorithm, ratio, "janus")]
                 speedup = speedup_over(ser, jan)
                 data.setdefault(name, {})[(algorithm, ratio)] = speedup
                 table.add_row(name, algorithm, ratio, speedup)
@@ -297,24 +365,34 @@ def fig12_dedup(scale: float = 1.0,
 
 def fig13_transaction_size(scale: float = 1.0,
                            sizes=(64, 256, 1024, 4096, 8192),
-                           workloads: Optional[List[str]] = None
-                           ) -> FigureResult:
+                           workloads: Optional[List[str]] = None,
+                           jobs: Optional[int] = None,
+                           progress=None) -> FigureResult:
     """Parallelization and pre-execution speedups vs. update size
     (the five scalable workloads; TATP/TPCC keep their semantics)."""
     workloads = workloads or SCALABLE_WORKLOADS
+    specs: List[PointSpec] = []
+    for name in workloads:
+        for size in sizes:
+            params = WorkloadParams(
+                n_items=8, value_size=size,
+                n_transactions=max(3, int(8 * scale)))
+            for mode, variant in (("serialized", None),
+                                  ("parallel", None),
+                                  ("janus", "manual")):
+                specs.append(((name, size, mode), dict(
+                    workload=name, mode=mode, variant=variant,
+                    params=params)))
+    points = _sweep_points(specs, jobs=jobs, progress=progress)
     table = Table(
         "Fig. 13: speedup vs. transaction update size",
         ["workload", "size (B)", "parallelization", "pre-execution"])
     data: Dict = {}
     for name in workloads:
         for size in sizes:
-            params = WorkloadParams(
-                n_items=8, value_size=size,
-                n_transactions=max(3, int(8 * scale)))
-            ser = run_point(name, mode="serialized", params=params)
-            par = run_point(name, mode="parallel", params=params)
-            jan = run_point(name, mode="janus", variant="manual",
-                            params=params)
+            ser = points[(name, size, "serialized")]
+            par = points[(name, size, "parallel")]
+            jan = points[(name, size, "janus")]
             s_par = speedup_over(ser, par)
             s_jan = speedup_over(ser, jan)
             data.setdefault(name, {})[size] = (s_par, s_jan)
@@ -326,37 +404,50 @@ def fig13_transaction_size(scale: float = 1.0,
 # Fig. 14 — BMO unit / buffer scaling
 # ---------------------------------------------------------------------------
 
+def _fig14_label_config(resource_scale):
+    cfg = default_config()
+    if resource_scale is None:
+        janus_cfg = dataclasses.replace(
+            cfg.janus, unlimited_resources=True)
+        label = "unlimited"
+    else:
+        janus_cfg = dataclasses.replace(
+            cfg.janus, resource_scale=resource_scale)
+        label = f"{resource_scale}x"
+    return label, cfg.replace(janus=janus_cfg)
+
+
 def fig14_resources(scale: float = 1.0,
                     scales=(1, 2, 4, None),
                     value_size: int = 8192,
-                    workloads: Optional[List[str]] = None
-                    ) -> FigureResult:
+                    workloads: Optional[List[str]] = None,
+                    jobs: Optional[int] = None,
+                    progress=None) -> FigureResult:
     """Janus speedup with 1x/2x/4x/unlimited pre-execution resources
     at a fixed large transaction size.  The serialized baseline keeps
     the default hardware (the paper scales only Janus's resources)."""
     workloads = workloads or SCALABLE_WORKLOADS
     params = WorkloadParams(n_items=8, value_size=value_size,
                             n_transactions=max(3, int(6 * scale)))
+    specs: List[PointSpec] = []
+    for name in workloads:
+        specs.append(((name, "serialized"), dict(
+            workload=name, mode="serialized", params=params)))
+        for resource_scale in scales:
+            label, cfg = _fig14_label_config(resource_scale)
+            specs.append(((name, label), dict(
+                workload=name, mode="janus", variant="manual",
+                params=params, config=cfg)))
+    points = _sweep_points(specs, jobs=jobs, progress=progress)
     table = Table(
         "Fig. 14: Janus speedup vs. BMO units and buffer entries",
         ["workload", "resources", "speedup"])
     data: Dict = {}
     for name in workloads:
-        baseline = run_point(name, mode="serialized", params=params)
+        baseline = points[(name, "serialized")]
         for resource_scale in scales:
-            cfg = default_config()
-            if resource_scale is None:
-                janus_cfg = dataclasses.replace(
-                    cfg.janus, unlimited_resources=True)
-                label = "unlimited"
-            else:
-                janus_cfg = dataclasses.replace(
-                    cfg.janus, resource_scale=resource_scale)
-                label = f"{resource_scale}x"
-            cfg = cfg.replace(janus=janus_cfg)
-            jan = run_point(name, mode="janus", variant="manual",
-                            params=params, config=cfg)
-            speedup = speedup_over(baseline, jan)
+            label, _cfg = _fig14_label_config(resource_scale)
+            speedup = speedup_over(baseline, points[(name, label)])
             data.setdefault(name, {})[label] = speedup
             table.add_row(name, label, speedup)
     return FigureResult("fig14", data=data, rendered=table.render())
@@ -367,7 +458,9 @@ def fig14_resources(scale: float = 1.0,
 # ---------------------------------------------------------------------------
 
 def bmo_composition(scale: float = 1.0,
-                    workload: str = "array_swap") -> FigureResult:
+                    workload: str = "array_swap",
+                    jobs: Optional[int] = None,
+                    progress=None) -> FigureResult:
     """Serialized cost and Janus recovery for growing BMO stacks.
 
     Not a paper figure — an ablation DESIGN.md calls out: it shows how
@@ -382,6 +475,15 @@ def bmo_composition(scale: float = 1.0,
         ("wear_leveling", "dedup", "encryption", "integrity", "ecc"),
     ]
     params = _params(scale)
+    specs: List[PointSpec] = []
+    for stack in stacks:
+        cfg = default_config(bmos=stack)
+        base = dict(workload=workload, params=params, config=cfg)
+        specs.append(((stack, "serialized"),
+                      dict(base, mode="serialized")))
+        specs.append(((stack, "janus"),
+                      dict(base, mode="janus", variant="manual")))
+    points = _sweep_points(specs, jobs=jobs, progress=progress)
     table = Table(
         "BMO composition: serialized tax and Janus recovery",
         ["BMO stack", "serial BMO (ns)", "ns/txn serialized",
@@ -389,10 +491,8 @@ def bmo_composition(scale: float = 1.0,
     data: Dict = {}
     for stack in stacks:
         cfg = default_config(bmos=stack)
-        ser = run_point(workload, mode="serialized", params=params,
-                        config=cfg)
-        jan = run_point(workload, mode="janus", variant="manual",
-                        params=params, config=cfg)
+        ser = points[(stack, "serialized")]
+        jan = points[(stack, "janus")]
         serial_ns = build_pipeline(cfg).serial_latency()
         speedup = speedup_over(ser, jan)
         data["+".join(stack)] = {

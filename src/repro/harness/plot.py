@@ -73,3 +73,11 @@ def series_chart(title: str, series: Dict[str, Dict],
                  unit: str = "x") -> str:
     """Generic one-level chart: {label: value}."""
     return bar_chart(title, {"": series}, unit=unit)
+
+
+def save_chart(text: str, path) -> str:
+    """Write a rendered chart to ``path``, creating missing parent
+    directories (``repro figure --chart --out`` must not require a
+    pre-existing ``results/`` tree)."""
+    from repro.harness.report import write_text
+    return write_text(text, path)

@@ -1,6 +1,31 @@
-"""Plain-text tables and series for the figure reproductions."""
+"""Plain-text tables and series for the figure reproductions,
+plus the path helpers every harness writer goes through.
 
-from typing import Dict, List, Sequence
+Output paths (``results/figures/...``, trace/stats JSON, charts) are
+created with ``parents=True`` — a missing ``results/`` directory is
+not an error, so the harness works from any working directory, not
+just a repo checkout."""
+
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+
+def ensure_parent(path: Union[str, Path]) -> str:
+    """Create ``path``'s parent directories (``parents=True``);
+    returns ``path`` as a string for chaining into ``open()``."""
+    p = Path(path)
+    if str(p.parent) not in ("", "."):
+        p.parent.mkdir(parents=True, exist_ok=True)
+    return str(p)
+
+
+def write_text(text: str, path: Union[str, Path]) -> str:
+    """Write rendered figure/report text to ``path``, creating any
+    missing parent directories; guarantees a trailing newline."""
+    target = ensure_parent(path)
+    with open(target, "w") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    return target
 
 
 class Table:

@@ -34,6 +34,22 @@ from repro.common.rng import DeterministicRng
 DEFAULT_RESERVOIR_SIZE = 1024
 
 
+def _split_metric(name: str) -> "tuple":
+    """``scope.path.metric{labels}`` -> (``scope.path``, ``metric{labels}``).
+
+    The metric (short) name is everything after the last dot *before*
+    any label suffix; scope paths may themselves contain dots
+    (``parallel.worker``), metric names by convention do not.
+    """
+    brace = name.find("{")
+    base, suffix = (name, "") if brace < 0 \
+        else (name[:brace], name[brace:])
+    scope, sep, key = base.rpartition(".")
+    if not sep:
+        return "", base + suffix
+    return scope, key + suffix
+
+
 def _labels_suffix(labels: Optional[Dict[str, str]]) -> str:
     if not labels:
         return ""
@@ -134,6 +150,22 @@ class Histogram:
         hi = min(lo + 1, len(data) - 1)
         frac = rank - lo
         return data[lo] * (1 - frac) + data[hi] * frac
+
+    def merge_summary(self, summary: Dict[str, float]) -> None:
+        """Fold another histogram's :meth:`summary` into this one.
+
+        Used for cross-process metric fold-in: a worker ships its
+        snapshot back and the parent merges count/total/min/max.  The
+        *reservoir* cannot be merged from a summary — percentiles on a
+        folded histogram reflect only locally-observed samples.
+        """
+        count = summary.get("count", 0)
+        if not count:
+            return
+        self.count += count
+        self.total += summary.get("mean", 0.0) * count
+        self.min = min(self.min, summary.get("min", math.inf))
+        self.max = max(self.max, summary.get("max", -math.inf))
 
     def summary(self) -> Dict[str, float]:
         out = {
@@ -243,6 +275,31 @@ class MetricsRegistry:
         if meta:
             snap["meta"] = dict(meta)
         return snap
+
+    def fold(self, snapshot: Dict) -> None:
+        """Merge a :meth:`snapshot` (typically from another process)
+        into this registry's live metrics.
+
+        Counters add; histograms merge their count/total/min/max via
+        :meth:`Histogram.merge_summary`.  Snapshot keys are
+        ``<scope>.<metric>`` — the split assumes dot-free metric
+        names (the repo-wide convention), with any ``{label=...}``
+        suffix kept out of the split.  This is the cross-process
+        fold-in used by :mod:`repro.harness.parallel`: workers account
+        locally, ship one snapshot, and the parent folds it in.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            scope_name, key = _split_metric(name)
+            scope = self.scope(scope_name)
+            if key not in scope.counters:
+                scope.counters[key] = Counter(key)
+            scope.counters[key].add(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            scope_name, key = _split_metric(name)
+            scope = self.scope(scope_name)
+            if key not in scope.histograms:
+                scope.histograms[key] = Histogram(name)
+            scope.histograms[key].merge_summary(summary)
 
     @staticmethod
     def delta(before: Dict, after: Dict) -> Dict:

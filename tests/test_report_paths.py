@@ -1,0 +1,43 @@
+"""Regression: figure/trace output paths must not require an existing
+``results/`` tree (``mkdir(parents=True)`` everywhere a harness file
+is written — ``repro figure --out``, ``repro run --trace/--stats``,
+and chart saving all route through these helpers)."""
+
+from pathlib import Path
+
+from repro.harness.plot import save_chart
+from repro.harness.report import ensure_parent, write_text
+
+
+class TestEnsureParent:
+    def test_creates_nested_parents(self, tmp_path):
+        target = tmp_path / "results" / "figures" / "deep" / "fig9.txt"
+        returned = ensure_parent(target)
+        assert returned == str(target)
+        assert target.parent.is_dir()
+        assert not target.exists()  # only the directories
+
+    def test_existing_parent_is_fine(self, tmp_path):
+        target = tmp_path / "out.txt"
+        assert ensure_parent(target) == str(target)
+        assert ensure_parent(target) == str(target)  # idempotent
+
+    def test_bare_filename_needs_no_mkdir(self):
+        assert ensure_parent("plain.txt") == "plain.txt"
+
+
+class TestWriteText:
+    def test_writes_into_missing_directory(self, tmp_path):
+        target = tmp_path / "a" / "b" / "c" / "report.txt"
+        write_text("fig body", target)
+        assert target.read_text() == "fig body\n"
+
+    def test_trailing_newline_not_duplicated(self, tmp_path):
+        target = tmp_path / "n" / "report.txt"
+        write_text("line\n", target)
+        assert target.read_text() == "line\n"
+
+    def test_save_chart_delegates(self, tmp_path):
+        target = tmp_path / "charts" / "fig11.txt"
+        returned = save_chart("bars", target)
+        assert Path(returned).read_text() == "bars\n"
