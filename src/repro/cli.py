@@ -33,8 +33,15 @@ Commands
     and mode, recover + scrub each, run the fault-class scenarios,
     write ``results/CRASHTEST_<date>.json``, and fail (exit 1) on any
     invariant violation (digest mismatch, commit gap, silent fault).
+``fuzz [--cases N] [--seed S] [--quick] [--replay PATH]``
+    Seeded stateful fuzzing (:mod:`repro.validate.fuzz`): random op
+    sequences over the Janus API, IRB lockstep traces, and workload
+    kernels, all run under the invariant checkers and differential
+    oracles.  Failures are delta-debugged to minimal repros in
+    ``results/FUZZ_<date>/``; ``--replay`` re-runs one repro file.
 
-The sweep commands (``figure``, ``crashtest``, ``bench``) accept
+The sweep commands (``figure``, ``crashtest``, ``bench``, ``fuzz``)
+accept
 ``--jobs N`` to shard their independent simulation points across
 worker processes (:mod:`repro.harness.parallel`); output is
 byte-identical at any job count.  ``$REPRO_JOBS`` sets the default.
@@ -114,7 +121,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="also render as bars (fig9/fig11)")
     figure.add_argument("--out", default=None, metavar="PATH",
                         help="also write the rendered figure to PATH "
-                             "(parent directories are created)")
+                             "(parent directories are created; an "
+                             "existing file is only overwritten when "
+                             "it is a previous render of the same "
+                             "figure)")
+    figure.add_argument("--force", action="store_true",
+                        help="overwrite --out even when the existing "
+                             "file is not a previous render")
     _add_jobs_arg(figure)
 
     def add_workload_args(p, modes=True):
@@ -137,6 +150,10 @@ def _build_parser() -> argparse.ArgumentParser:
                           " JSON timeline of the run")
     run.add_argument("--stats", metavar="PATH", default=None,
                      help="write the full metrics snapshot as JSON")
+    run.add_argument("--check", action="store_true",
+                     help="run the cross-layer invariant checkers "
+                          "(repro.validate) after every BMO-pipeline "
+                          "commit; exit 1 on any violation")
     run.add_argument("--jobs", type=int, default=None, metavar="N",
                      help="accepted for interface uniformity with the "
                           "sweep commands; a single design point "
@@ -228,6 +245,30 @@ def _build_parser() -> argparse.ArgumentParser:
     crashtest.add_argument("--no-write", action="store_true",
                            help="do not write the report JSON")
     _add_jobs_arg(crashtest)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="seeded stateful fuzz under checkers + oracles")
+    fuzz.add_argument("--cases", type=int, default=None, metavar="N",
+                      help="cases to generate (default 60, or 12 "
+                           "with --quick)")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--max-ops", type=int, default=16, metavar="N",
+                      help="max ops per generated api case")
+    fuzz.add_argument("--quick", action="store_true",
+                      help="CI-sized smoke campaign")
+    fuzz.add_argument("--workloads", default=None, metavar="W,W",
+                      help="workload kernels to mix in (default "
+                           "array_swap,queue,hash_table; 'none' "
+                           "disables)")
+    fuzz.add_argument("--dir", default=None, metavar="DIR",
+                      help="repro directory (default "
+                           "results/FUZZ_<date>)")
+    fuzz.add_argument("--no-write", action="store_true",
+                      help="do not write repro/report files")
+    fuzz.add_argument("--replay", default=None, metavar="PATH",
+                      help="re-run a minimized repro file instead of "
+                           "fuzzing")
+    _add_jobs_arg(fuzz)
     return parser
 
 
@@ -262,8 +303,16 @@ def cmd_figure(args) -> int:
             rendered.append("")
             rendered.append(chart)
     if args.out:
-        from repro.harness.report import write_text
-        write_text("\n".join(rendered), args.out)
+        from repro.harness.report import (
+            ReportOverwriteError,
+            write_report_text,
+        )
+        try:
+            write_report_text("\n".join(rendered), args.out,
+                              force=args.force)
+        except ReportOverwriteError as error:
+            print(f"refusing: {error}", file=sys.stderr)
+            return 2
         print(f"figure -> {args.out}")
     return 0
 
@@ -273,11 +322,25 @@ def cmd_run(args) -> int:
     if args.trace:
         from repro.obs import Tracer
         tracer = Tracer(enabled=True)
-    result = run_point(args.workload, mode=args.mode,
-                       variant=args.variant, cores=args.cores,
-                       params=_params(args), tracer=tracer)
+    try:
+        result = run_point(args.workload, mode=args.mode,
+                           variant=args.variant, cores=args.cores,
+                           params=_params(args), tracer=tracer,
+                           check_invariants=args.check)
+    except Exception as error:
+        from repro.validate import InvariantViolation
+        if not isinstance(error, InvariantViolation):
+            raise
+        print(f"INVARIANT VIOLATION [{error.layer}:{error.invariant}]"
+              f" {error.detail}", file=sys.stderr)
+        print(json.dumps(error.as_dict(), indent=2, sort_keys=True),
+              file=sys.stderr)
+        return 1
     print(f"{result.workload} mode={result.mode} "
           f"variant={result.variant} cores={result.cores}")
+    if args.check:
+        checks = result.stats.get("validate.checks", 0.0)
+        print(f"  invariants: {checks:,.0f} checks, 0 violations")
     print(f"  elapsed {result.elapsed_ns:,.0f} ns for "
           f"{result.transactions} transactions "
           f"({result.ns_per_transaction:,.0f} ns/txn)")
@@ -528,6 +591,43 @@ def cmd_crashtest(args) -> int:
     return 1 if report["violations"] else 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.validate import fuzz as fz
+
+    if args.replay:
+        failure = fz.replay(args.replay)
+        if failure is None:
+            print(f"{args.replay}: no longer fails")
+            return 0
+        print(f"{args.replay}: still fails")
+        print(json.dumps(failure, indent=2, sort_keys=True))
+        return 1
+
+    if args.workloads is None:
+        workloads = fz.DEFAULT_WORKLOADS
+    elif args.workloads.strip().lower() == "none":
+        workloads = ()
+    else:
+        workloads = tuple(w.strip() for w in args.workloads.split(",")
+                          if w.strip())
+        unknown = set(workloads) - set(WORKLOADS)
+        if unknown:
+            print(f"unknown workloads: {sorted(unknown)}",
+                  file=sys.stderr)
+            return 2
+    cases = args.cases if args.cases is not None \
+        else (12 if args.quick else 60)
+    report = fz.run_fuzz(
+        cases=cases, seed=args.seed, max_ops=args.max_ops,
+        jobs=args.jobs, workloads=workloads, out_dir=args.dir,
+        write=not args.no_write,
+        progress=_progress_for(args, "fuzz"))
+    print(fz.render_report(report))
+    if not args.no_write and report["failures"]:
+        print(f"repros -> {report['dir']}")
+    return 1 if report["failures"] else 0
+
+
 COMMANDS = {
     "figures": cmd_figures,
     "figure": cmd_figure,
@@ -539,6 +639,7 @@ COMMANDS = {
     "bench": cmd_bench,
     "scrub": cmd_scrub,
     "crashtest": cmd_crashtest,
+    "fuzz": cmd_fuzz,
 }
 
 

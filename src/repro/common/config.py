@@ -236,6 +236,11 @@ class SystemConfig:
     #: the full latency is still charged to the dependent chain.
     #: 1.0 degenerates to fully-occupying units (an ablation).
     bmo_unit_pipeline_fraction: float = 0.05
+    #: Attach :class:`repro.validate.InvariantChecker` and run the
+    #: cross-layer invariant suite after every BMO-pipeline commit
+    #: (CLI ``repro run --check``).  Functional-only: violations raise
+    #: ``InvariantViolation``, timing is unaffected.
+    check_invariants: bool = False
     seed: int = 42
 
     MODES = ("serialized", "parallel", "janus", "ideal")

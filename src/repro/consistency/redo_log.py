@@ -75,6 +75,9 @@ class RedoLog:
         self.base = self.system.heap.alloc_line(
             self.capacity, label=f"redo-log-{core.core_id}")
         self._head = self.base
+        checker = getattr(self.system, "checker", None)
+        if checker is not None:
+            checker.register_log("redo", self)
 
     def _reserve(self, nbytes: int) -> int:
         nbytes = align_up(nbytes)

@@ -79,6 +79,9 @@ class UndoLog:
                                                       f"{core.core_id}")
         self._head = self.base
         self.records_written = 0
+        checker = getattr(self.system, "checker", None)
+        if checker is not None:
+            checker.register_log("undo", self)
 
     # -- space management --------------------------------------------------
     def _reserve(self, nbytes: int) -> int:

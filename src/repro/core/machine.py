@@ -1,5 +1,6 @@
 """Cores, the memory controller, and the assembled NVM system."""
 
+import itertools
 from typing import Dict, List, Optional
 
 from repro.bmo.dedup import DedupTable
@@ -261,7 +262,8 @@ class Core:
             system.janus if self.cfg.mode == "janus" else None,
             thread_id=core_id,
             transaction_id_provider=lambda: self.current_txn_id,
-            issue_cost_ns=2 * self.cfg.core.instruction_ns * 4)
+            issue_cost_ns=2 * self.cfg.core.instruction_ns * 4,
+            pre_id_counter=system._pre_ids)
         self.stats = system.metrics.scope(f"core{core_id}")
         # Hot metric handles: resolved once, not per load/store/fence.
         self._c_reads = self.stats.counter("reads")
@@ -405,8 +407,19 @@ class NvmSystem:
         self.controller = MemoryController(self)
         self.heap = NvmHeap(base=CACHE_LINE_BYTES,
                             size=heap_limit - CACHE_LINE_BYTES)
+        #: Per-system PRE_ID allocator shared by every core's
+        #: JanusInterface: pre_ids restart at 1 for each system, so
+        #: snapshots and fuzz repros are reproducible across processes.
+        self._pre_ids = itertools.count(1)
         self.cores = [Core(self, i) for i in range(config.cores)]
         self.stats = self.metrics.scope("system")
+        #: Optional ``repro.validate.InvariantChecker``: wraps the
+        #: pipeline commit point and audits cross-layer invariants
+        #: (``repro run --check``).  Undo/redo logs self-register here.
+        self.checker = None
+        if config.check_invariants:
+            from repro.validate.invariants import InvariantChecker
+            self.checker = InvariantChecker(self).attach()
         #: Optional ``repro.faults.FaultInjector``: hooks into the
         #: device, the write queue, the Janus engine, and ``crash()``.
         self.injector = injector

@@ -9,6 +9,13 @@ just a repo checkout."""
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
 
+from repro.common.errors import ReproError
+
+
+class ReportOverwriteError(ReproError):
+    """Refusal to clobber a file that is not a previous render of the
+    same report (``repro figure --out`` without ``--force``)."""
+
 
 def ensure_parent(path: Union[str, Path]) -> str:
     """Create ``path``'s parent directories (``parents=True``);
@@ -26,6 +33,37 @@ def write_text(text: str, path: Union[str, Path]) -> str:
     with open(target, "w") as handle:
         handle.write(text if text.endswith("\n") else text + "\n")
     return target
+
+
+def write_report_text(text: str, path: Union[str, Path],
+                      force: bool = False) -> str:
+    """:func:`write_text` that refuses to silently overwrite a file it
+    did not produce.
+
+    A re-render of the same report is recognized by its first line
+    (the caption) and overwritten freely; any other existing file —
+    someone's notes, a different figure, a data file that happens to
+    share the name — raises :class:`ReportOverwriteError` unless
+    ``force``.
+    """
+    p = Path(path)
+    if p.exists() and not force:
+        if p.is_dir():
+            raise ReportOverwriteError(f"{path} is a directory")
+        try:
+            with open(p, errors="replace") as handle:
+                existing_first = handle.readline().rstrip("\n")
+        except OSError as error:
+            raise ReportOverwriteError(
+                f"cannot inspect existing file {path}: {error}")
+        new_first = text.split("\n", 1)[0]
+        if existing_first != new_first:
+            raise ReportOverwriteError(
+                f"{path} exists and does not look like a previous "
+                f"render of this report (first line "
+                f"{existing_first[:40]!r} != {new_first[:40]!r}); "
+                f"pass --force to overwrite")
+    return write_text(text, path)
 
 
 class Table:

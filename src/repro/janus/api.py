@@ -28,6 +28,10 @@ from repro.janus.engine import JanusEngine
 from repro.janus.queues import PreExecRequest, PreFunc
 from repro.sim import Simulator
 
+#: Fallback allocator for interfaces constructed without an owning
+#: system (unit tests).  Real systems pass a per-system counter so
+#: pre_ids — which appear in IRB snapshots and fuzz repro files — do
+#: not depend on how many systems ran earlier in the process.
 _PRE_ID_COUNTER = itertools.count(1)
 
 
@@ -52,12 +56,15 @@ class JanusInterface:
     def __init__(self, sim: Simulator, engine: Optional[JanusEngine],
                  thread_id: int,
                  transaction_id_provider: Callable[[], int] = lambda: 0,
-                 issue_cost_ns: float = 2.0):
+                 issue_cost_ns: float = 2.0,
+                 pre_id_counter=None):
         self.sim = sim
         self.engine = engine
         self.thread_id = thread_id
         self._txn_id = transaction_id_provider
         self.issue_cost_ns = issue_cost_ns
+        self._pre_ids = pre_id_counter if pre_id_counter is not None \
+            else _PRE_ID_COUNTER
         self.calls = 0
 
     @property
@@ -68,7 +75,7 @@ class JanusInterface:
     def pre_init(self, obj: Optional[PreObj] = None) -> PreObj:
         """PRE_INIT: assign a unique PRE_ID plus thread/txn IDs."""
         obj = obj or PreObj()
-        obj.pre_id = next(_PRE_ID_COUNTER)
+        obj.pre_id = next(self._pre_ids)
         obj.thread_id = self.thread_id
         obj.transaction_id = self._txn_id()
         return obj

@@ -89,7 +89,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "count", "total", "min", "max",
-                 "reservoir_size", "_samples", "_rng")
+                 "reservoir_size", "_samples", "_rng", "_local_count")
 
     def __init__(self, name: str, keep_samples: bool = True,
                  reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
@@ -103,9 +103,15 @@ class Histogram:
         self.reservoir_size = reservoir_size
         self._samples: Optional[List[float]] = [] if keep_samples else None
         self._rng = None  # created lazily on first reservoir eviction
+        #: Samples observed *locally* (excludes folded-in summary
+        #: counts, which carry no samples).  Algorithm R's admission
+        #: probability must be k/local-seen: using the inflated
+        #: ``count`` would under-admit real samples after a fold.
+        self._local_count = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
+        self._local_count += 1
         self.total += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
@@ -114,12 +120,12 @@ class Histogram:
         if len(self._samples) < self.reservoir_size:
             self._samples.append(value)
             return
-        # Reservoir full: keep each of the ``count`` samples seen so
-        # far with equal probability k/count (Algorithm R).
+        # Reservoir full: keep each of the locally-seen samples with
+        # equal probability k/local_count (Algorithm R).
         if self._rng is None:
             self._rng = DeterministicRng(0).stream(
                 f"histogram:{self.name}")
-        slot = self._rng.randrange(self.count)
+        slot = self._rng.randrange(self._local_count)
         if slot < self.reservoir_size:
             self._samples[slot] = value
 
@@ -158,14 +164,22 @@ class Histogram:
         snapshot back and the parent merges count/total/min/max.  The
         *reservoir* cannot be merged from a summary — percentiles on a
         folded histogram reflect only locally-observed samples.
+
+        Tolerant of sparse worker summaries: an empty one (count 0)
+        is a no-op, and a summary missing min/max (a worker that
+        never filled them in) falls back to its mean rather than
+        leaving ``inf`` bounds behind.
         """
         count = summary.get("count", 0)
         if not count:
             return
+        mean = summary.get("mean", 0.0)
         self.count += count
-        self.total += summary.get("mean", 0.0) * count
-        self.min = min(self.min, summary.get("min", math.inf))
-        self.max = max(self.max, summary.get("max", -math.inf))
+        self.total += mean * count
+        low = summary.get("min", mean)
+        high = summary.get("max", mean)
+        self.min = min(self.min, mean if math.isinf(low) else low)
+        self.max = max(self.max, mean if math.isinf(high) else high)
 
     def summary(self) -> Dict[str, float]:
         out = {
@@ -174,7 +188,10 @@ class Histogram:
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
         }
-        if self._samples is not None and self.count:
+        # Percentiles only when the reservoir holds real samples: a
+        # histogram populated purely by summary fold-ins would
+        # otherwise report p50/p95/p99 = 0.0 — reading as a latency.
+        if self._samples:
             out["p50"] = self.percentile(50)
             out["p95"] = self.percentile(95)
             out["p99"] = self.percentile(99)

@@ -30,6 +30,48 @@ def test_figure_overhead(capsys):
     assert "IRB" in out
 
 
+def test_figure_out_writes_then_rerenders_in_place(capsys, tmp_path):
+    path = tmp_path / "table1.txt"
+    code, _ = run_cli(capsys, "figure", "table1", "--out", str(path))
+    assert code == 0
+    first = path.read_text()
+    assert "backend memory operations" in first
+    # Refreshing a previously rendered report in place is fine: the
+    # first line identifies it as our own output.
+    code, _ = run_cli(capsys, "figure", "table1", "--out", str(path))
+    assert code == 0
+    assert path.read_text() == first
+
+
+def test_figure_out_refuses_to_clobber_foreign_file(capsys, tmp_path):
+    path = tmp_path / "notes.txt"
+    path.write_text("my precious notes\n")
+    code = main(["figure", "table1", "--out", str(path)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "refusing" in captured.err
+    assert "--force" in captured.err
+    assert path.read_text() == "my precious notes\n"  # untouched
+
+
+def test_figure_out_force_overwrites(capsys, tmp_path):
+    path = tmp_path / "notes.txt"
+    path.write_text("my precious notes\n")
+    code, _ = run_cli(capsys, "figure", "table1", "--out", str(path),
+                      "--force")
+    assert code == 0
+    content = path.read_text()
+    assert "my precious notes" not in content
+    assert "backend memory operations" in content
+
+
+def test_figure_out_refuses_directory_target(capsys, tmp_path):
+    code = main(["figure", "table1", "--out", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "refusing" in captured.err
+
+
 def test_run_command(capsys):
     code, out = run_cli(capsys, "run", "array_swap", "--txns", "4",
                         "--mode", "janus")

@@ -1,120 +1,29 @@
 """Property test: the indexed IRB behaves identically to the
 linear-scan reference under randomized operation sequences.
 
-Both implementations are driven with the same deterministic stream of
-insert / match / consume / invalidate / expire operations (named
-``repro.common.rng`` streams, so failures replay exactly), and after
-every step the observable state — resident entries, match results,
-invalidation counts, and the full stats bag — must be identical.
+The lockstep pair itself lives in :mod:`repro.validate.oracles`
+(:class:`IrbLockstep`, also driven by ``repro fuzz``); these tests
+run the seeded random traces and pin down the lockstep's own failure
+reporting.
 """
 
 import pytest
 
 from repro.common.rng import DeterministicRng
-from repro.janus.irb import IntermediateResultBuffer, IrbEntry
-from repro.janus.irb_linear import LinearScanIrb
-from repro.sim import Simulator
-
-LINES = [64 * i for i in range(12)]
-PAYLOADS = [bytes([b]) * 64 for b in (0x11, 0x22, 0x33)]
-THREADS = (0, 1, 2)
-
-
-def canon_entry(entry):
-    """Identity-free view of an entry for cross-implementation
-    comparison."""
-    return (entry.pre_id, entry.thread_id, entry.transaction_id,
-            -1 if entry.line_addr is None else entry.line_addr,
-            entry.data or b"", entry.data_seq, entry.created_at,
-            tuple(sorted(entry.ctx.completed)))
-
-
-def canon(irb):
-    return sorted(canon_entry(e) for e in irb.entries())
-
-
-def random_entry(rng, lines=LINES, pre_ids=6, txns=2, addr_p=0.7):
-    has_addr = rng.random() < addr_p
-    has_data = rng.random() < 0.6 or not has_addr
-    return IrbEntry(
-        pre_id=rng.randrange(pre_ids),
-        thread_id=rng.choice(THREADS),
-        transaction_id=rng.randrange(txns),
-        line_addr=rng.choice(lines) if has_addr else None,
-        data=rng.choice(PAYLOADS) if has_data else None,
-        data_seq=rng.randrange(2))
-
-
-def clone(entry):
-    return IrbEntry(
-        pre_id=entry.pre_id, thread_id=entry.thread_id,
-        transaction_id=entry.transaction_id,
-        line_addr=entry.line_addr, data=entry.data,
-        data_seq=entry.data_seq)
-
-
-def _run_equivalence(stream_name, lines=LINES, pre_ids=6, txns=2,
-                     addr_p=0.7):
-    rng = DeterministicRng(0).stream(stream_name)
-    sim_a, sim_b = Simulator(), Simulator()
-    indexed = IntermediateResultBuffer(sim_a, capacity=10,
-                                       max_age_ns=500.0)
-    linear = LinearScanIrb(sim_b, capacity=10, max_age_ns=500.0)
-
-    for step in range(400):
-        # Keep both clocks in lockstep; jumps large enough to expire.
-        dt = rng.choice([0, 0, 1, 5, 40, 200])
-        sim_a.now += dt
-        sim_b.now += dt
-
-        roll = rng.random()
-        if roll < 0.45:
-            entry = random_entry(rng, lines=lines, pre_ids=pre_ids,
-                                 txns=txns, addr_p=addr_p)
-            got_a = indexed.insert(entry)
-            got_b = linear.insert(clone(entry))
-            assert (got_a is None) == (got_b is None), step
-            if got_a is not None:
-                assert canon_entry(got_a) == canon_entry(got_b), step
-        elif roll < 0.70:
-            thread = rng.choice(THREADS)
-            line = rng.choice(lines)
-            data = rng.choice(PAYLOADS)
-            got_a = indexed.match_write(thread, line, data)
-            got_b = linear.match_write(thread, line, data)
-            assert (got_a is None) == (got_b is None), step
-            if got_a is not None:
-                assert canon_entry(got_a) == canon_entry(got_b), step
-        elif roll < 0.80:
-            # Consume the same logical entry on both sides.
-            resident_a = sorted(indexed.entries(), key=canon_entry)
-            resident_b = sorted(linear.entries(), key=canon_entry)
-            if resident_a:
-                index = rng.randrange(len(resident_a))
-                indexed.consume(resident_a[index])
-                linear.consume(resident_b[index])
-        elif roll < 0.88:
-            line = rng.choice(lines)
-            assert indexed.invalidate_line(line) == \
-                linear.invalidate_line(line), step
-        elif roll < 0.94:
-            thread = rng.choice(THREADS)
-            assert indexed.clear_thread(thread) == \
-                linear.clear_thread(thread), step
-        else:
-            lo = rng.choice(lines)
-            hi = lo + 64 * rng.randrange(1, 4)
-            assert indexed.invalidate_range(lo, hi) == \
-                linear.invalidate_range(lo, hi), step
-
-        assert len(indexed) == len(linear), step
-        assert canon(indexed) == canon(linear), step
-        assert indexed.stats.as_dict() == linear.stats.as_dict(), step
+from repro.janus.irb import IrbEntry
+from repro.validate.oracles import (
+    LINES,
+    PAYLOADS,
+    IrbLockstep,
+    OracleMismatch,
+    run_random_irb_trace,
+)
 
 
 @pytest.mark.parametrize("seed", range(6))
 def test_indexed_irb_equivalent_to_linear_reference(seed):
-    _run_equivalence(f"irb-equivalence:{seed}")
+    rng = DeterministicRng(0).stream(f"irb-equivalence:{seed}")
+    run_random_irb_trace(rng)
 
 
 @pytest.mark.parametrize("seed", range(6))
@@ -122,8 +31,9 @@ def test_indexed_irb_equivalent_merge_heavy(seed):
     """Tiny key space and many address-less entries → frequent merges,
     including data-only entries gaining addresses — the bucket-reorder
     sequence behind the match_write most-recent-wins regression."""
-    _run_equivalence(f"irb-equivalence-merge:{seed}",
-                     lines=LINES[:4], pre_ids=3, txns=1, addr_p=0.55)
+    rng = DeterministicRng(0).stream(f"irb-equivalence-merge:{seed}")
+    run_random_irb_trace(rng, lines=LINES[:4], pre_ids=3, txns=1,
+                         addr_p=0.55)
 
 
 def test_equivalence_streams_are_deterministic():
@@ -132,3 +42,30 @@ def test_equivalence_streams_are_deterministic():
     one = DeterministicRng(0).stream("irb-equivalence:0").random()
     two = DeterministicRng(0).stream("irb-equivalence:0").random()
     assert one == two
+
+
+def test_lockstep_basic_ops_agree():
+    pair = IrbLockstep()
+    entry = IrbEntry(pre_id=0, thread_id=0, transaction_id=0,
+                     line_addr=LINES[0], data=PAYLOADS[0], data_seq=0)
+    assert pair.insert(entry) is not None
+    assert pair.match(0, LINES[0], PAYLOADS[0]) is not None
+    assert len(pair.indexed) == len(pair.linear) == 1
+    pair.consume_nth(0)
+    assert len(pair.indexed) == 0
+    assert pair.invalidate_line(LINES[0]) == 0
+
+
+def test_lockstep_reports_divergence_with_op_context():
+    """A deliberate one-sided mutation is caught on the next verify,
+    tagged with the step and both canonical states."""
+    pair = IrbLockstep()
+    pair.insert(IrbEntry(pre_id=0, thread_id=0, transaction_id=0,
+                         line_addr=LINES[1], data=PAYLOADS[1],
+                         data_seq=0))
+    pair.linear.invalidate_line(LINES[1])  # indexed side keeps it
+    with pytest.raises(OracleMismatch) as excinfo:
+        pair.verify("tamper")
+    assert "tamper" in str(excinfo.value)
+    assert dict(excinfo.value.diff)["indexed"] != \
+        dict(excinfo.value.diff)["linear"]

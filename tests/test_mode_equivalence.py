@@ -4,61 +4,84 @@ The paper's requirement 1 (§3.2) in its strongest form: Janus (and
 parallelization) are *latency* optimizations — the recoverable
 contents of NVM after any program must be byte-identical to the
 serialized baseline's, for arbitrary write sequences.
+
+The heavy lifting lives in :mod:`repro.validate.oracles` (also used
+by ``repro fuzz``); these tests drive the library over randomized and
+hand-picked op programs.
 """
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.config import default_config
-from repro.consistency import recover
-from repro.core import NvmSystem
+from repro.validate.oracles import (
+    LINE,
+    PALETTE,
+    OracleMismatch,
+    check_mode_equivalence,
+    check_workload_equivalence,
+    diff_images,
+    partition_ops,
+    run_write_program,
+)
 
-N_LINES = 12
+N_LINES = 8
+_SLOTTED = ("store", "hinted", "addr", "data", "split")
 
 
 @st.composite
 def write_program(draw):
-    """A random sequence of persisted line writes (with duplicates)."""
-    n_ops = draw(st.integers(1, 15))
+    """A random op sequence over the oracle vocabulary — plain and
+    hinted stores, stale hints, split (merge-inducing) requests,
+    thread clears, and swap notifications."""
+    n_ops = draw(st.integers(1, 12))
     ops = []
-    values = [bytes([v]) * 64 for v in range(1, 6)]
     for _ in range(n_ops):
-        slot = draw(st.integers(0, N_LINES - 1))
-        value = draw(st.sampled_from(values))
-        ops.append((slot, value))
+        kind = draw(st.sampled_from(
+            _SLOTTED + ("stale", "clear", "swap", "compute")))
+        if kind in _SLOTTED:
+            ops.append((kind, draw(st.integers(0, N_LINES - 1)),
+                        draw(st.integers(0, len(PALETTE) - 1))))
+        elif kind == "stale":
+            ops.append(("stale", draw(st.integers(0, N_LINES - 1)),
+                        draw(st.integers(0, len(PALETTE) - 1)),
+                        draw(st.integers(0, len(PALETTE) - 1))))
+        elif kind == "clear":
+            ops.append(("clear",))
+        elif kind == "swap":
+            lo = draw(st.integers(0, N_LINES - 1))
+            hi = draw(st.integers(lo + 1, N_LINES))
+            ops.append(("swap", lo, hi))
+        else:
+            ops.append(("compute", draw(st.integers(1, 10)) * 100))
     return ops
 
 
-def run_ops(mode, ops, use_janus_hints):
-    system = NvmSystem(default_config(mode=mode, seed=11))
-    core = system.cores[0]
-    base = system.heap.alloc_line(N_LINES * 64, label="arena")
-
-    def program():
-        for slot, value in ops:
-            addr = base + slot * 64
-            if use_janus_hints:
-                obj = core.api.pre_init()
-                yield from core.api.pre_both(obj, addr, value)
-                yield from core.compute(800)
-            yield from core.store(addr, value)
-            yield from core.persist(addr, 64)
-
-    system.run_programs([program()])
-    snapshot = system.crash()
-    state = recover(snapshot, verify_macs=True)
-    return [state.read(base + slot * 64, 64)
-            for slot in range(N_LINES)]
-
-
-@settings(max_examples=15, deadline=None)
+@settings(max_examples=12, deadline=None)
 @given(ops=write_program())
 def test_all_modes_recover_identical_contents(ops):
-    reference = run_ops("serialized", ops, use_janus_hints=False)
-    assert run_ops("parallel", ops, use_janus_hints=False) == reference
-    assert run_ops("janus", ops, use_janus_hints=True) == reference
-    assert run_ops("ideal", ops, use_janus_hints=False) == reference
+    check_mode_equivalence(ops, modes=("parallel", "janus", "ideal"),
+                           n_lines=N_LINES)
+
+
+@settings(max_examples=8, deadline=None)
+@given(ops=write_program())
+def test_two_thread_janus_equivalence(ops):
+    """Concurrent streams (slot-parity partition): one thread's
+    commits land inside the other's pre-execution windows."""
+    check_mode_equivalence(ops, modes=("janus",), n_lines=N_LINES,
+                           threads=2)
+
+
+def _expected_image(ops):
+    """Last write per slot wins; swap is an IRB notification only."""
+    image = [b"\x00" * LINE for _ in range(N_LINES)]
+    for op in ops:
+        if op[0] in _SLOTTED:
+            image[op[1]] = PALETTE[op[2]]
+        elif op[0] == "stale":
+            image[op[1]] = PALETTE[op[3]]  # the store, not the hint
+    return image
 
 
 @settings(max_examples=10, deadline=None)
@@ -66,21 +89,46 @@ def test_all_modes_recover_identical_contents(ops):
 def test_recovered_contents_match_final_program_view(ops):
     """Recovery through ciphertext + metadata equals what the program
     last wrote (the volatile view it never gets back)."""
-    system = NvmSystem(default_config(mode="janus", seed=11))
-    core = system.cores[0]
-    base = system.heap.alloc_line(N_LINES * 64, label="arena")
-    final = {}
+    image = run_write_program("janus", ops, n_lines=N_LINES)
+    assert diff_images(_expected_image(ops), image) == []
 
-    def program():
-        for slot, value in ops:
-            addr = base + slot * 64
-            obj = core.api.pre_init()
-            yield from core.api.pre_both(obj, addr, value)
-            yield from core.store(addr, value)
-            yield from core.persist(addr, 64)
-            final[slot] = value
 
-    system.run_programs([program()])
-    state = recover(system.crash(), verify_macs=True)
-    for slot, value in final.items():
-        assert state.read(base + slot * 64, 64) == value
+def test_stale_hint_never_leaks_into_nvm():
+    """§4.3.1: a pre-executed result for data the program then does
+    NOT write must be invalidated, not consumed."""
+    ops = [("stale", 0, 0, 5), ("stale", 1, 3, 1), ("store", 0, 2)]
+    check_mode_equivalence(ops, n_lines=N_LINES)
+    image = run_write_program("janus", ops, n_lines=N_LINES)
+    assert image[0] == PALETTE[2] and image[1] == PALETTE[1]
+
+
+def test_mismatch_reports_differing_slots():
+    reference = [PALETTE[0], PALETTE[1]]
+    candidate = [PALETTE[0], PALETTE[2]]
+    diff = diff_images(reference, candidate)
+    assert diff == [(1, PALETTE[1].hex(), PALETTE[2].hex())]
+    with pytest.raises(OracleMismatch):
+        if diff:
+            raise OracleMismatch("images differ", diff=diff)
+
+
+def test_partition_preserves_slot_ownership_and_order():
+    ops = [("store", 0, 1), ("split", 1, 2), ("store", 0, 3),
+           ("swap", 0, 2), ("clear",), ("store", 1, 4)]
+    streams = partition_ops(ops, 2)
+    assert len(streams) == 2
+    # Every slotted op lands on thread slot % 2, in program order.
+    assert [op for op in streams[0] if op[0] == "store"] == \
+        [("store", 0, 1), ("store", 0, 3)]
+    assert [op for op in streams[1] if op[0] in ("split", "store")] \
+        == [("split", 1, 2), ("store", 1, 4)]
+    # swap pins to thread 0; nothing is lost or duplicated.
+    assert ("swap", 0, 2) in streams[0]
+    assert sorted(map(repr, streams[0] + streams[1])) == \
+        sorted(map(repr, ops))
+
+
+@pytest.mark.parametrize("workload", ["array_swap", "queue",
+                                      "hash_table"])
+def test_workload_kernels_equivalent(workload):
+    check_workload_equivalence(workload, txns=6, items=12)

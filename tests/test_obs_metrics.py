@@ -68,6 +68,72 @@ class TestHistogramReservoir:
         assert "p50" not in Histogram("x", keep_samples=False).summary()
 
 
+class TestHistogramFoldIn:
+    """merge_summary / fold tolerance for sparse worker snapshots."""
+
+    def test_empty_worker_summary_is_a_noop(self):
+        h = Histogram("lat")
+        h.observe(5.0)
+        h.merge_summary({"count": 0, "mean": 0.0, "min": 0.0,
+                         "max": 0.0})
+        assert h.count == 1 and h.min == 5.0 and h.max == 5.0
+
+    def test_single_sample_worker_summary_merges_exactly(self):
+        h = Histogram("lat")
+        h.merge_summary({"count": 1, "mean": 7.0, "min": 7.0,
+                         "max": 7.0})
+        s = h.summary()
+        assert s["count"] == 1 and s["mean"] == 7.0
+        assert s["min"] == 7.0 and s["max"] == 7.0
+
+    def test_summary_missing_min_max_falls_back_to_mean(self):
+        h = Histogram("lat")
+        h.merge_summary({"count": 3, "mean": 4.0})
+        s = h.summary()
+        assert s["min"] == 4.0 and s["max"] == 4.0  # never inf
+
+    def test_folded_only_histogram_reports_no_percentiles(self):
+        """count > 0 from fold-ins alone must not surface p50=0.0 —
+        that reads as a real zero latency."""
+        h = Histogram("lat")
+        h.merge_summary({"count": 10, "mean": 3.0, "min": 1.0,
+                         "max": 5.0})
+        s = h.summary()
+        assert s["count"] == 10
+        assert "p50" not in s and "p95" not in s and "p99" not in s
+
+    def test_fold_does_not_skew_reservoir_admission(self):
+        """Algorithm R admission must use the locally-seen count: a
+        large folded-in count would otherwise make later local
+        samples nearly inadmissible, freezing percentiles on the
+        early prefix."""
+        plain = Histogram("skew-check", reservoir_size=64)
+        folded = Histogram("skew-check", reservoir_size=64)
+        folded.merge_summary({"count": 1_000_000, "mean": 0.0,
+                              "min": 0.0, "max": 0.0})
+        for i in range(2000):
+            plain.observe(float(i))
+            folded.observe(float(i))
+        # Same seed stream + same local sample sequence -> identical
+        # reservoirs, regardless of the folded count.
+        assert folded._samples == plain._samples
+        assert folded.percentile(50) == plain.percentile(50)
+
+    def test_registry_fold_tolerates_empty_histograms(self):
+        parent = MetricsRegistry()
+        parent.scope("wq").histogram("depth").observe(2.0)
+        worker = MetricsRegistry()
+        worker.scope("wq").histogram("depth")  # created, never observed
+        worker.scope("wq").histogram("burst").observe(9.0)
+        parent.fold(worker.snapshot())
+        snap = parent.snapshot()
+        depth = snap["histograms"]["wq.depth"]
+        assert depth["count"] == 1 and depth["min"] == 2.0
+        burst = snap["histograms"]["wq.burst"]
+        assert burst["count"] == 1
+        assert burst["min"] == 9.0 and burst["max"] == 9.0
+
+
 class TestScope:
     def test_statset_compatibility(self):
         scope = MetricsScope("irb")

@@ -62,6 +62,18 @@ def _flaky(marker_path, fail_times, value):
     return value
 
 
+def _slow_once(marker_path, sleep_s, value):
+    """Sleep long on the first call only (marker file counts attempts
+    across process boundaries), then return instantly."""
+    with open(marker_path, "a") as handle:
+        handle.write("x\n")
+    with open(marker_path) as handle:
+        calls = len(handle.readlines())
+    if calls == 1:
+        time.sleep(sleep_s)
+    return value
+
+
 def _tasks(n, fn="_double"):
     return [SweepTask(key=("t", i), fn=f"{_HERE}:{fn}", args=(i,))
             for i in range(n)]
@@ -176,6 +188,40 @@ class TestFailureHandling:
         for r in results:
             if r.key != ("slow",):
                 assert r.ok
+
+    def test_timeout_once_then_retry_matches_inline_output(self,
+                                                           tmp_path):
+        """Retry/timeout interplay: a task whose first attempt times
+        out and is killed, but whose retry succeeds, must yield the
+        same merged results as the inline (jobs=1) run — the timeout
+        machinery may cost wall-clock, never output."""
+        marker = tmp_path / "slow-once.marker"
+        registry = MetricsRegistry()
+        executor = ParallelExecutor(jobs=2, timeout_s=1.0, retries=1,
+                                    metrics=registry)
+        tasks = _tasks(3) + [SweepTask(key=("slow",),
+                                       fn=f"{_HERE}:_slow_once",
+                                       args=(str(marker), 30.0, "v"))]
+        results = executor.map(tasks)
+        slow = {r.key: r for r in results}[("slow",)]
+        assert slow.ok and slow.value == "v"
+        assert slow.attempts == 2  # first attempt was killed
+        counters = registry.snapshot()["counters"]
+        assert counters["parallel.timeouts"] == 1
+        assert counters["parallel.retries"] == 1
+        assert counters["parallel.tasks_failed"] == 0
+
+        # Inline reference: pre-seed the marker so the single inline
+        # call takes the fast path (jobs=1 ignores timeout_s).
+        inline_marker = tmp_path / "inline.marker"
+        inline_marker.write_text("x\n")
+        inline_tasks = _tasks(3) + [SweepTask(
+            key=("slow",), fn=f"{_HERE}:_slow_once",
+            args=(str(inline_marker), 30.0, "v"))]
+        inline = ParallelExecutor(jobs=1).map(inline_tasks)
+        assert [r.key for r in inline] == [r.key for r in results]
+        assert [r.value for r in inline] == [r.value for r in results]
+        assert [r.ok for r in inline] == [r.ok for r in results]
 
     def test_map_values_strict_raises_with_context(self):
         executor = ParallelExecutor(jobs=1, retries=0)
