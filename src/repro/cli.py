@@ -39,6 +39,22 @@ Commands
     kernels, all run under the invariant checkers and differential
     oracles.  Failures are delta-debugged to minimal repros in
     ``results/FUZZ_<date>/``; ``--replay`` re-runs one repro file.
+``profile <workload> [--mode M] [--quick] [--out P.json]
+        [--folded P.folded] [--top N]``
+    Deterministic simulation profiler (:mod:`repro.obs.profile`):
+    runs one design point with dispatch + span instrumentation and
+    prints a ranked hotspot table.  ``--out`` writes the byte-stable
+    report JSON; ``--folded`` writes speedscope-loadable folded
+    stacks.
+``chart <series.jsonl> [--metric M]``
+    Plot one metric from a ``--timeseries`` JSONL file as an ASCII
+    chart; with no ``--metric``, list the sampled metrics.
+
+``run`` and ``profile`` accept ``--timeseries N`` (snapshot all
+metrics every N sim-ns into ``--timeseries-out``, byte-deterministic
+at any job count) and — like ``scrub``, ``crashtest``, and ``fuzz``
+— ``--log PATH`` (or ``$REPRO_LOG``) for a structured JSONL run log
+(:mod:`repro.obs.log`).
 
 The sweep commands (``figure``, ``crashtest``, ``bench``, ``fuzz``)
 accept
@@ -49,6 +65,7 @@ byte-identical at any job count.  ``$REPRO_JOBS`` sets the default.
 
 import argparse
 import json
+import os
 import sys
 
 from repro.harness import experiments
@@ -95,6 +112,24 @@ def _add_jobs_arg(parser) -> None:
              "(default: $REPRO_JOBS, then the CPU count; 1 = inline, "
              "no processes).  Output is byte-identical at any job "
              "count.")
+
+
+def _add_log_arg(parser) -> None:
+    parser.add_argument(
+        "--log", metavar="PATH", default=None,
+        help="write a structured JSONL run log (repro.obs.log); "
+             "$REPRO_LOG sets the default")
+
+
+def _add_timeseries_args(parser) -> None:
+    parser.add_argument(
+        "--timeseries", type=float, default=None, metavar="N",
+        help="sample all metrics every N sim-ns into a "
+             "byte-deterministic JSONL series (repro.obs.timeseries)")
+    parser.add_argument(
+        "--timeseries-out", metavar="PATH", default="timeseries.jsonl",
+        help="where --timeseries writes its JSONL "
+             "(default timeseries.jsonl; plot with `repro chart`)")
 
 
 def _progress_for(args, label):
@@ -154,10 +189,42 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="run the cross-layer invariant checkers "
                           "(repro.validate) after every BMO-pipeline "
                           "commit; exit 1 on any violation")
+    run.add_argument("--prom", metavar="PATH", default=None,
+                     help="write the final metrics snapshot in "
+                          "Prometheus text exposition format")
     run.add_argument("--jobs", type=int, default=None, metavar="N",
                      help="accepted for interface uniformity with the "
                           "sweep commands; a single design point "
                           "always runs inline")
+    _add_timeseries_args(run)
+    _add_log_arg(run)
+
+    profile = sub.add_parser(
+        "profile", help="deterministic simulation profiler")
+    add_workload_args(profile)
+    profile.add_argument("--quick", action="store_true",
+                         help="CI-sized run (caps --txns at 8)")
+    profile.add_argument("--out", metavar="PATH", default=None,
+                         help="write the byte-stable profile report "
+                              "JSON (repro-profile-v1)")
+    profile.add_argument("--folded", metavar="PATH", default=None,
+                         help="write folded stacks (speedscope / "
+                              "flamegraph.pl format)")
+    profile.add_argument("--top", type=int, default=12, metavar="N",
+                         help="rows per hotspot table (default 12)")
+    profile.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="accepted for interface uniformity; a "
+                              "profiled point always runs inline")
+    _add_timeseries_args(profile)
+    _add_log_arg(profile)
+
+    chart = sub.add_parser(
+        "chart", help="ASCII-plot a --timeseries JSONL metric")
+    chart.add_argument("series", help="JSONL file from --timeseries")
+    chart.add_argument("--metric", default=None, metavar="M",
+                       help="metric to plot (omit to list)")
+    chart.add_argument("--width", type=int, default=60)
+    chart.add_argument("--height", type=int, default=12)
 
     stats = sub.add_parser(
         "stats", help="pretty-print or diff stats snapshots")
@@ -201,6 +268,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="fail when the indexed IRB microbench "
                             "speedup over the linear baseline drops "
                             "below this (default 2.0)")
+    bench.add_argument("--max-obs-overhead", type=float, default=0.02,
+                       help="fail when the obs-off dispatch loop is "
+                            "slower than the pre-profiler loop by "
+                            "more than this fraction (default 0.02)")
     bench.add_argument("--no-write", action="store_true",
                        help="do not write the report JSON")
     bench.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -221,6 +292,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="comma-separated fault kinds to inject "
                             "(seeded plan; see repro.faults)")
     scrub.add_argument("--seed", type=int, default=7)
+    _add_log_arg(scrub)
 
     crashtest = sub.add_parser(
         "crashtest", help="crash-point campaign + fault scenarios")
@@ -245,6 +317,7 @@ def _build_parser() -> argparse.ArgumentParser:
     crashtest.add_argument("--no-write", action="store_true",
                            help="do not write the report JSON")
     _add_jobs_arg(crashtest)
+    _add_log_arg(crashtest)
 
     fuzz = sub.add_parser(
         "fuzz", help="seeded stateful fuzz under checkers + oracles")
@@ -269,6 +342,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="re-run a minimized repro file instead of "
                            "fuzzing")
     _add_jobs_arg(fuzz)
+    _add_log_arg(fuzz)
     return parser
 
 
@@ -319,13 +393,21 @@ def cmd_figure(args) -> int:
 
 def cmd_run(args) -> int:
     tracer = None
-    if args.trace:
+    if args.trace or args.timeseries:
         from repro.obs import Tracer
         tracer = Tracer(enabled=True)
+    sampler = None
+    if args.timeseries:
+        from repro.obs import TimeSeriesSampler
+        sampler = TimeSeriesSampler(
+            args.timeseries,
+            meta={"workload": args.workload, "mode": args.mode,
+                  "cores": args.cores, "txns": args.txns})
     try:
         result = run_point(args.workload, mode=args.mode,
                            variant=args.variant, cores=args.cores,
                            params=_params(args), tracer=tracer,
+                           sampler=sampler,
                            check_invariants=args.check)
     except Exception as error:
         from repro.validate import InvariantViolation
@@ -357,6 +439,81 @@ def cmd_run(args) -> int:
         with open(ensure_parent(args.stats), "w") as handle:
             json.dump(result.snapshot, handle, indent=2, sort_keys=True)
         print(f"  stats snapshot -> {args.stats}")
+    if sampler is not None:
+        sampler.write_jsonl(args.timeseries_out)
+        print(f"  timeseries: {len(sampler.samples)} samples every "
+              f"{args.timeseries:,.0f} sim-ns -> {args.timeseries_out} "
+              f"(plot with `repro chart`)")
+    if args.prom:
+        from repro.harness.report import ensure_parent
+        from repro.obs import prometheus_exposition
+        with open(ensure_parent(args.prom), "w") as handle:
+            handle.write(prometheus_exposition(result.snapshot))
+        print(f"  prometheus exposition -> {args.prom}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.obs import (
+        SimProfiler,
+        TimeSeriesSampler,
+        Tracer,
+        profile_report,
+        render_hotspots,
+    )
+    from repro.obs.profile import write_report
+
+    if args.quick:
+        args.txns = min(args.txns, 8)
+    tracer = Tracer(enabled=True)
+    profiler = SimProfiler()
+    sampler = None
+    if args.timeseries:
+        sampler = TimeSeriesSampler(
+            args.timeseries,
+            meta={"workload": args.workload, "mode": args.mode,
+                  "cores": args.cores, "txns": args.txns})
+    result = run_point(args.workload, mode=args.mode,
+                       variant=args.variant, cores=args.cores,
+                       params=_params(args), tracer=tracer,
+                       profiler=profiler, sampler=sampler)
+    report = profile_report(profiler, tracer, meta={
+        "workload": result.workload, "mode": result.mode,
+        "variant": result.variant, "cores": result.cores,
+        "txns": args.txns, "elapsed_ns": result.elapsed_ns,
+        "transactions": result.transactions})
+    print(render_hotspots(report, profiler, top=args.top))
+    if args.out:
+        write_report(report, args.out)
+        print(f"profile report -> {args.out}")
+    if args.folded:
+        from repro.harness.report import ensure_parent
+        with open(ensure_parent(args.folded), "w") as handle:
+            handle.write(report["folded"])
+        print(f"folded stacks -> {args.folded} "
+              f"(load at speedscope.app)")
+    if sampler is not None:
+        sampler.write_jsonl(args.timeseries_out)
+        print(f"timeseries -> {args.timeseries_out}")
+    return 0
+
+
+def cmd_chart(args) -> int:
+    from repro.obs import timeseries as ts
+
+    header, samples = ts.load_jsonl(args.series)
+    if args.metric is None:
+        meta = "  ".join(f"{k}={header[k]}" for k in sorted(header)
+                         if k != "schema")
+        print(f"{args.series}: {meta}")
+        names = sorted({name for sample in samples
+                        for name in sample["metrics"]})
+        for name in names:
+            print(f"  {name}")
+        print("pick one with --metric")
+        return 0
+    print(ts.render_series(samples, args.metric,
+                           width=args.width, height=args.height))
     return 0
 
 
@@ -485,6 +642,18 @@ def cmd_bench(args) -> int:
         failures.append(
             f"irb_micro: indexed speedup {speedup:.2f}x below the "
             f"{args.min_irb_speedup:.1f}x floor")
+    overhead = report["obs_overhead"]["overhead"]
+    if overhead > args.max_obs_overhead:
+        # One re-measure before failing: the micro is short, and the
+        # gate should catch a real added per-event cost, not a
+        # scheduler stall during the first sample.
+        overhead = min(overhead,
+                       bench.bench_obs_overhead()["overhead"])
+    if overhead > args.max_obs_overhead:
+        failures.append(
+            f"obs_overhead: disabled-path dispatch overhead "
+            f"{overhead:.2%} above the {args.max_obs_overhead:.0%} "
+            f"gate")
     if baseline is not None:
         failures.extend(
             bench.compare(baseline, report, threshold=args.threshold))
@@ -632,6 +801,8 @@ COMMANDS = {
     "figures": cmd_figures,
     "figure": cmd_figure,
     "run": cmd_run,
+    "profile": cmd_profile,
+    "chart": cmd_chart,
     "stats": cmd_stats,
     "compare": cmd_compare,
     "plan": cmd_plan,
@@ -643,9 +814,36 @@ COMMANDS = {
 }
 
 
+def _run_id(args) -> str:
+    """A deterministic run identifier for the structured log (never
+    wall-clock-derived, so logs stay byte-reproducible)."""
+    parts = [args.command]
+    for attr in ("workload", "mode"):
+        value = getattr(args, attr, None)
+        if value:
+            parts.append(str(value))
+    seed = getattr(args, "seed", None)
+    if seed is not None:
+        parts.append(f"s{seed}")
+    return "-".join(parts)
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    log_path = getattr(args, "log", None) or os.environ.get("REPRO_LOG")
+    if not log_path:
+        return COMMANDS[args.command](args)
+
+    from repro.obs import log as runlog
+    runlog.configure(path=log_path, run_id=_run_id(args),
+                     seed=getattr(args, "seed", None))
+    runlog.event("cli", "start", command=args.command)
+    try:
+        status = COMMANDS[args.command](args)
+        runlog.event("cli", "exit", status=status)
+        return status
+    finally:
+        runlog.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -25,6 +25,7 @@ from typing import List, Optional, Set
 
 from repro.bmo.ecc import check as ecc_check
 from repro.common.errors import UncorrectableMediaError
+from repro.obs import log as runlog
 
 _TRACK = ("faults", "degraded")
 
@@ -60,6 +61,9 @@ class DegradedModeManager:
             self.tracer.instant(name, "faults", _TRACK,
                                 ts_ns=self.system.sim.now,
                                 args={"addr": addr})
+        runlog.event("faults.degraded", name,
+                     sim_ns=self.system.sim.now, level="warn",
+                     addr=addr)
 
     def poison(self, addr: int) -> None:
         if addr not in self.poisoned:

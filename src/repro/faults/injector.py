@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.common.rng import DeterministicRng
 from repro.common.units import CACHE_LINE_BYTES
 from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs import log as runlog
 
 _TRACK = ("faults", "injector")
 
@@ -94,6 +95,8 @@ class FaultInjector:
             self.tracer.instant(
                 f"fault:{spec.kind}", "faults", _TRACK,
                 ts_ns=self.system.sim.now, args=record)
+        runlog.event("faults", "injected", sim_ns=self.system.sim.now,
+                     level="warn", **record)
 
     def injected_of(self, kind: str) -> List[Dict]:
         return [r for r in self.injected if r["kind"] == kind]

@@ -51,6 +51,7 @@ from repro.core import NvmSystem
 from repro.faults import DegradedModeManager, FaultInjector, FaultPlan, \
     FaultSpec
 from repro.harness.parallel import ParallelExecutor, SweepTask, TaskResult
+from repro.obs import log as runlog
 from repro.workloads import WORKLOADS, WorkloadParams, make_workload
 
 SCHEMA = "repro-crashtest-v1"
@@ -382,6 +383,10 @@ def run_campaign(config: Optional[CampaignConfig] = None,
     config = config or CampaignConfig()
     executor = ParallelExecutor(jobs=jobs, timeout_s=timeout_s,
                                 progress=progress)
+    runlog.event("harness.crashtest", "campaign.start",
+                 workloads=list(config.workloads),
+                 modes=list(config.modes), points=config.points,
+                 seed=config.seed)
     report: Dict = {
         "schema": SCHEMA,
         "config": config.to_dict(),
@@ -517,6 +522,12 @@ def run_campaign(config: Optional[CampaignConfig] = None,
                 })
 
     report["summary"] = summarise(report)
+    for violation in violations:
+        runlog.event("harness.crashtest", "violation", level="error",
+                     **violation)
+    runlog.event("harness.crashtest", "campaign.done",
+                 crash_points=report["summary"]["crash_points"],
+                 violations=len(violations))
     return report
 
 

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from importlib import import_module
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import log as runlog
 from repro.obs.metrics import MetricsRegistry
 
 #: Environment variable consulted when no explicit ``jobs`` is given.
@@ -213,6 +214,10 @@ class ParallelExecutor:
         if result.metrics is not None:
             self.metrics.fold(result.metrics)
             result.metrics = None  # folded; don't ship twice
+        if not result.ok:
+            runlog.event("harness.parallel", "task_failed",
+                         level="error", key=list(result.key),
+                         error=result.error, attempts=result.attempts)
 
     def _report(self, done: int, total: int, failed: int) -> None:
         if self.progress is not None:
@@ -253,6 +258,9 @@ class ParallelExecutor:
             attempts = 1
             while not result.ok and attempts <= self.retries:
                 self._c_retries.add()
+                runlog.event("harness.parallel", "task_retry",
+                             level="warn", key=list(task.key),
+                             attempt=attempts, error=result.error)
                 result = run_task(task)
                 attempts += 1
             result.attempts = attempts
@@ -306,6 +314,10 @@ class ParallelExecutor:
                 proc.join()
                 free_slots.append(slot)
                 self._c_retries.add()
+                runlog.event("harness.parallel", "task_retry",
+                             level="warn",
+                             key=list(tasks[index].key),
+                             attempt=attempts[index], error=error)
                 pending.insert(0, index)
             else:
                 finish(index, TaskResult(
@@ -339,6 +351,11 @@ class ParallelExecutor:
                 if self.timeout_s is not None \
                         and time.perf_counter() - t0 > self.timeout_s:
                     self._c_timeouts.add()
+                    runlog.event("harness.parallel", "task_timeout",
+                                 level="warn",
+                                 key=list(tasks[index].key),
+                                 timeout_s=self.timeout_s,
+                                 attempt=attempts[index])
                     proc.terminate()
                     retry_or_fail(
                         index,

@@ -5,6 +5,7 @@ from typing import Dict, Optional
 
 from repro.common.config import SystemConfig, default_config
 from repro.core import NvmSystem
+from repro.obs import log as runlog
 from repro.obs.tracer import Tracer
 from repro.workloads import WorkloadParams, make_workload
 
@@ -36,13 +37,20 @@ def run_point(workload: str,
               params: Optional[WorkloadParams] = None,
               config: Optional[SystemConfig] = None,
               tracer: Optional[Tracer] = None,
+              profiler=None,
+              sampler=None,
               **config_overrides) -> ExperimentResult:
     """Simulate one design point and return its result.
 
     ``variant`` defaults to ``baseline`` for non-Janus modes and
     ``manual`` for Janus mode (the paper's main configuration).
     Pass an enabled :class:`Tracer` to capture the run's span
-    timeline (export with :func:`repro.obs.export_chrome_trace`).
+    timeline (export with :func:`repro.obs.export_chrome_trace`), a
+    :class:`repro.obs.profile.SimProfiler` to attribute dispatch
+    cost, and/or a :class:`repro.obs.timeseries.TimeSeriesSampler`
+    to record a metric time series (the sampler is bound to the
+    system's registry here).  With neither, the simulator runs its
+    unmodified fast dispatch loop.
     """
     if variant is None:
         variant = "manual" if mode == "janus" else "baseline"
@@ -50,13 +58,26 @@ def run_point(workload: str,
     cfg = cfg.replace(mode=mode, cores=cores, **config_overrides)
     cfg.validate()
     system = NvmSystem(cfg, tracer=tracer)
+    if profiler is not None:
+        system.sim.profile = profiler
+    if sampler is not None:
+        system.sim.sampler = sampler.bind(system.metrics, tracer=tracer)
     params = params or WorkloadParams()
     workloads = [
         make_workload(workload, system, core, params, variant=variant)
         for core in system.cores
     ]
+    runlog.event("harness.runner", "run_point.start",
+                 workload=workload, mode=mode, variant=variant,
+                 cores=cores)
     elapsed = system.run_programs([w.run() for w in workloads])
+    if sampler is not None:
+        sampler.finish(elapsed)
     transactions = sum(w.completed_transactions for w in workloads)
+    runlog.event("harness.runner", "run_point.done", sim_ns=elapsed,
+                 workload=workload, mode=mode, variant=variant,
+                 cores=cores, transactions=transactions,
+                 events=system.sim.events)
 
     # Flat view for quick access; every registered scope (mc, janus,
     # irb, bmo, wq, nvm, core*) exports under its dotted path.

@@ -1,4 +1,4 @@
-"""Unified observability: metrics registry, span tracer, trace export.
+"""Unified observability: metrics, tracing, profiling, telemetry.
 
 * :mod:`repro.obs.metrics` — hierarchical :class:`MetricsRegistry` of
   labeled counters and reservoir-sampled histograms, with snapshots,
@@ -6,7 +6,15 @@
 * :mod:`repro.obs.tracer` — structured span/event :class:`Tracer`
   with a no-op :data:`NULL_TRACER` for near-zero disabled overhead;
 * :mod:`repro.obs.chrome_trace` — Chrome trace-event (Perfetto) JSON
-  exporter, the live-run analogue of the paper's Fig. 3 timeline.
+  exporter, the live-run analogue of the paper's Fig. 3 timeline;
+* :mod:`repro.obs.profile` — deterministic simulation profiler:
+  per-event-type dispatch attribution, per-component sim-time
+  self/cumulative aggregation, folded-stack (speedscope) export;
+* :mod:`repro.obs.timeseries` — sim-time-driven metric sampler
+  (byte-deterministic JSONL series) plus a Prometheus text-exposition
+  exporter;
+* :mod:`repro.obs.log` — structured JSONL run logging correlated with
+  traces and time series by ``run_id`` / ``seed`` / ``sim_ns``.
 """
 
 from repro.obs.chrome_trace import export_chrome_trace, to_chrome_trace
@@ -16,6 +24,13 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsScope,
 )
+from repro.obs.profile import (
+    SimProfiler,
+    fold_spans,
+    profile_report,
+    render_hotspots,
+)
+from repro.obs.timeseries import TimeSeriesSampler, prometheus_exposition
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -25,7 +40,13 @@ __all__ = [
     "MetricsScope",
     "NULL_TRACER",
     "NullTracer",
+    "SimProfiler",
+    "TimeSeriesSampler",
     "Tracer",
     "export_chrome_trace",
+    "fold_spans",
+    "profile_report",
+    "prometheus_exposition",
+    "render_hotspots",
     "to_chrome_trace",
 ]

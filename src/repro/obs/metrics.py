@@ -175,16 +175,39 @@ class Histogram:
             return
         mean = summary.get("mean", 0.0)
         self.count += count
-        self.total += mean * count
+        # Prefer the exact running sum when the summary carries one;
+        # mean * count loses the low bits of a long-run total.
+        self.total += summary.get("sum", mean * count)
         low = summary.get("min", mean)
         high = summary.get("max", mean)
         self.min = min(self.min, mean if math.isinf(low) else low)
         self.max = max(self.max, mean if math.isinf(high) else high)
 
+    @property
+    def percentiles_approximate(self) -> bool:
+        """True when the reservoir no longer holds *every* observed
+        sample — it dropped local samples (Algorithm R eviction) or
+        absorbed sample-less summary fold-ins — so percentiles are
+        reservoir estimates, not exact order statistics.
+        """
+        if self._samples is None:
+            return False
+        return (self._local_count > len(self._samples)
+                or self.count != self._local_count)
+
     def summary(self) -> Dict[str, float]:
+        """Exact running aggregates plus (possibly sampled) percentiles.
+
+        ``count`` / ``sum`` / ``min`` / ``max`` / ``mean`` are exact —
+        tracked streaming, independent of the reservoir.  Percentiles
+        come from the reservoir; once it has dropped samples they are
+        estimates, flagged with ``approximate: true`` so exports never
+        silently present sampled percentiles as exact.
+        """
         out = {
             "count": self.count,
             "mean": self.mean,
+            "sum": self.total,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
         }
@@ -195,6 +218,8 @@ class Histogram:
             out["p50"] = self.percentile(50)
             out["p95"] = self.percentile(95)
             out["p99"] = self.percentile(99)
+            if self.percentiles_approximate:
+                out["approximate"] = True
         return out
 
 

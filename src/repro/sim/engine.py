@@ -171,6 +171,12 @@ class Simulator:
         #: event dispatch, or fired timeout) — the denominator of the
         #: bench harness's events/sec throughput metric.
         self.events: int = 0
+        #: Optional :class:`repro.obs.profile.SimProfiler`.  Attach by
+        #: assignment before :meth:`run`; ``None`` keeps the fast loop.
+        self.profile = None
+        #: Optional :class:`repro.obs.timeseries.TimeSeriesSampler`,
+        #: driven from the instrumented loop at sample boundaries.
+        self.sampler = None
 
     # -- scheduling ----------------------------------------------------
     def _schedule(self, delay: float, fn: Callable, *args) -> None:
@@ -213,7 +219,14 @@ class Simulator:
         ended by ``stop_event``, the clock advances to ``until`` — the
         same result whether or not a (never-triggered) ``stop_event``
         was passed.
+
+        With a :attr:`profile` or :attr:`sampler` attached the run is
+        delegated to :meth:`_run_instrumented`; the check happens once
+        per ``run()`` call, never per event, so disabled-observability
+        runs execute this exact loop unchanged.
         """
+        if self.profile is not None or self.sampler is not None:
+            return self._run_instrumented(until, stop_event)
         heap = self._heap
         while heap:
             if stop_event is not None and stop_event.triggered:
@@ -231,4 +244,47 @@ class Simulator:
         stopped = stop_event is not None and stop_event.triggered
         if until is not None and not heap and not stopped:
             self.now = max(self.now, until)
+        return self.now
+
+    def _run_instrumented(self, until: Optional[float],
+                          stop_event: Optional[SimEvent]) -> float:
+        """The :meth:`run` loop with profiler / sampler hooks.
+
+        Identical scheduling semantics to the fast loop; additionally
+        times each callback for :attr:`profile` and drives
+        :attr:`sampler` whenever the clock crosses its next sample
+        boundary (before dispatching the crossing event, so samples
+        reflect state *at* the boundary).
+        """
+        heap = self._heap
+        profile = self.profile
+        sampler = self.sampler
+        clock = profile.clock if profile is not None else None
+        while heap:
+            if stop_event is not None and stop_event.triggered:
+                break
+            time, _seq, fn, args = heap[0]
+            if until is not None and time > until:
+                self.now = until
+                if sampler is not None and self.now >= sampler.next_ns:
+                    sampler.on_advance(self.now)
+                return self.now
+            heapq.heappop(heap)
+            if time < self.now:
+                raise SimulationError("time went backwards")
+            self.now = time
+            if sampler is not None and time >= sampler.next_ns:
+                sampler.on_advance(time)
+            self.events += 1
+            if profile is not None:
+                start = clock()
+                fn(*args)
+                profile.record(fn, clock() - start)
+            else:
+                fn(*args)
+        stopped = stop_event is not None and stop_event.triggered
+        if until is not None and not heap and not stopped:
+            self.now = max(self.now, until)
+        if sampler is not None and self.now >= sampler.next_ns:
+            sampler.on_advance(self.now)
         return self.now

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.common.rng import DeterministicRng
 from repro.harness.parallel import ParallelExecutor, SweepTask
 from repro.harness.report import ensure_parent
+from repro.obs import log as runlog
 from repro.validate.invariants import InvariantViolation
 from repro.validate.oracles import (
     PALETTE,
@@ -283,6 +284,9 @@ def run_fuzz(cases: int = 60, seed: int = 0, max_ops: int = 16,
     bug before delegating — worker processes do not inherit the
     parent's monkeypatches.
     """
+    runlog.event("validate.fuzz", "campaign.start", cases=cases,
+                 seed=seed, max_ops=max_ops,
+                 workloads=list(workloads))
     case_list = generate_cases(seed, cases, max_ops=max_ops,
                                workloads=workloads)
     batches = [case_list[i:i + BATCH]
@@ -322,6 +326,13 @@ def run_fuzz(cases: int = 60, seed: int = 0, max_ops: int = 16,
             entry["reduction_runs"] = runs
         repros.append(entry)
 
+    for entry in repros:
+        runlog.event("validate.fuzz", "case_failed", level="error",
+                     kind=entry["case"]["kind"],
+                     failure_class=entry["failure"].get("class"),
+                     detail=entry["failure"].get("detail"))
+    runlog.event("validate.fuzz", "campaign.done",
+                 cases=len(case_list), failures=len(repros))
     report = {
         "schema": SCHEMA_REPORT,
         "seed": seed,

@@ -54,6 +54,7 @@ from repro.common.errors import RecoveryError, ReproError
 from repro.consistency.redo_log import parse_redo_log
 from repro.consistency.undo_log import parse_log
 from repro.crypto.merkle import MerkleTree
+from repro.obs import log as runlog
 
 
 class InvariantViolation(ReproError):
@@ -148,8 +149,22 @@ class InvariantChecker:
             if full and "integrity" in by_name:
                 self.check_merkle(by_name["integrity"])
             self.check_logs()
-        except InvariantViolation:
+        except InvariantViolation as violation:
             self._c_violations.add()
+            tracer = getattr(self.system, "tracer", None)
+            if tracer is not None and tracer.enabled:
+                tracer.instant(
+                    f"violation:{violation.invariant}", "validate",
+                    ("validate", violation.layer),
+                    ts_ns=self.system.sim.now,
+                    args={"invariant": violation.invariant,
+                          "layer": violation.layer,
+                          "detail": violation.detail})
+            runlog.event("validate", "invariant_violation",
+                         sim_ns=self.system.sim.now, level="error",
+                         invariant=violation.invariant,
+                         layer=violation.layer,
+                         detail=violation.detail)
             raise
 
     # -- janus: IRB index <-> entry bijection ---------------------------

@@ -130,3 +130,38 @@ class TestCli:
         assert "delta:" in out
         # Janus-only counters appear as pure additions.
         assert "irb.hits" in out or "janus.requests" in out
+
+
+class TestObsV2Events:
+    """PR 6: fault/violation instants and time-series counter tracks
+    land in the Chrome trace alongside the spans."""
+
+    def test_timeseries_counter_tracks_in_trace(self, capsys, tmp_path):
+        tpath = tmp_path / "t.json"
+        code = main(["run", "hash_table", "--mode", "janus",
+                     "--txns", "6", "--trace", str(tpath),
+                     "--timeseries", "500",
+                     "--timeseries-out", str(tmp_path / "ts.jsonl")])
+        capsys.readouterr()
+        assert code == 0
+        doc = json.loads(tpath.read_text())
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        names = {e["name"] for e in counters}
+        assert any(n.startswith("ts:") for n in names)
+        assert "ts:wq.accepted" in names
+        # Counter samples carry the sampled value for Perfetto's
+        # counter-track rendering.
+        sample = [e for e in counters
+                  if e["name"] == "ts:wq.accepted"][-1]
+        assert "wq.accepted" in sample["args"]
+
+    def test_violation_instant_round_trips(self):
+        tracer = Tracer(enabled=True)
+        tracer.instant("violation:wq-duplicate", "validate",
+                       ("validate", "mem"), ts_ns=120.0,
+                       args={"invariant": "wq-duplicate"})
+        doc = to_chrome_trace(tracer.events)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instants[0]["name"] == "violation:wq-duplicate"
+        assert instants[0]["s"] == "t"
+        assert instants[0]["args"]["invariant"] == "wq-duplicate"

@@ -151,3 +151,70 @@ def test_unknown_workload_rejected():
 def test_unknown_figure_rejected():
     with pytest.raises(SystemExit):
         main(["figure", "fig99"])
+
+
+def test_profile_emits_ranked_hotspots_and_artifacts(capsys, tmp_path):
+    out_json = tmp_path / "profile.json"
+    folded = tmp_path / "profile.folded"
+    code, out = run_cli(capsys, "profile", "queue", "--mode", "janus",
+                        "--quick", "--out", str(out_json),
+                        "--folded", str(folded))
+    assert code == 0
+    assert "repro profile" in out
+    assert "self sim-ns" in out
+    import json as _json
+    report = _json.loads(out_json.read_text())
+    assert report["schema"] == "repro-profile-v1"
+    assert report["components"]
+    # Every folded line is "frames... <integer weight>".
+    for line in folded.read_text().splitlines():
+        stack, _sep, weight = line.rpartition(" ")
+        assert ";" in stack and int(weight) > 0
+
+
+def test_profile_report_byte_identical_across_jobs(capsys, tmp_path):
+    outs = []
+    for jobs, name in (("1", "a"), ("2", "b")):
+        path = tmp_path / f"{name}.json"
+        code, _out = run_cli(capsys, "profile", "queue", "--mode",
+                             "janus", "--quick", "--jobs", jobs,
+                             "--out", str(path))
+        assert code == 0
+        outs.append(path.read_bytes())
+    assert outs[0] == outs[1]
+
+
+def test_timeseries_byte_identical_across_jobs(capsys, tmp_path):
+    outs = []
+    for jobs, name in (("1", "a"), ("2", "b")):
+        path = tmp_path / f"{name}.jsonl"
+        code, _out = run_cli(capsys, "run", "queue", "--mode", "janus",
+                             "--txns", "4", "--jobs", jobs,
+                             "--timeseries", "500",
+                             "--timeseries-out", str(path))
+        assert code == 0
+        outs.append(path.read_bytes())
+    assert outs[0] == outs[1]
+
+
+def test_chart_lists_and_plots(capsys, tmp_path):
+    ts = tmp_path / "ts.jsonl"
+    run_cli(capsys, "run", "queue", "--mode", "janus", "--txns", "4",
+            "--timeseries", "300", "--timeseries-out", str(ts))
+    code, out = run_cli(capsys, "chart", str(ts))
+    assert code == 0
+    assert "wq.accepted" in out and "--metric" in out
+    code, out = run_cli(capsys, "chart", str(ts),
+                        "--metric", "wq.accepted")
+    assert code == 0
+    assert "wq.accepted" in out and "sim-ns" in out
+
+
+def test_run_prom_exposition(capsys, tmp_path):
+    prom = tmp_path / "metrics.prom"
+    code, _out = run_cli(capsys, "run", "queue", "--txns", "4",
+                         "--prom", str(prom))
+    assert code == 0
+    text = prom.read_text()
+    assert "# TYPE repro_wq_accepted counter" in text
+    assert "_sum" in text

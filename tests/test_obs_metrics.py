@@ -233,3 +233,65 @@ class TestRegistry:
         legacy.counter("n").add(2)
         reg.adopt("legacy", legacy)
         assert reg.as_flat_dict()["legacy.n"] == 2
+
+
+class TestExactAggregatesAndApproximateMarking:
+    """PR 6 satellite: exact sum alongside the reservoir, and honest
+    marking of reservoir-derived percentiles."""
+
+    def test_summary_carries_exact_sum_min_max(self):
+        h = Histogram("lat", reservoir_size=8)
+        for i in range(100):
+            h.observe(float(i))
+        s = h.summary()
+        assert s["sum"] == sum(range(100))
+        assert s["min"] == 0.0 and s["max"] == 99.0
+        assert s["count"] == 100
+
+    def test_exact_percentiles_not_marked(self):
+        h = Histogram("lat", reservoir_size=128)
+        for i in range(50):
+            h.observe(float(i))
+        s = h.summary()
+        assert "approximate" not in s
+        assert h.percentiles_approximate is False
+
+    def test_reservoir_eviction_marks_approximate(self):
+        h = Histogram("lat", reservoir_size=16)
+        for i in range(1000):
+            h.observe(float(i))
+        s = h.summary()
+        assert s["approximate"] is True
+        assert h.percentiles_approximate is True
+
+    def test_summary_fold_in_marks_approximate(self):
+        target = Histogram("lat", reservoir_size=64)
+        target.observe(1.0)
+        source = Histogram("lat", reservoir_size=64)
+        for i in range(10):
+            source.observe(float(i))
+        target.merge_summary(source.summary())
+        # Folded counts have no samples in this reservoir: percentiles
+        # no longer reflect every observation.
+        assert target.percentiles_approximate is True
+        assert target.summary()["approximate"] is True
+        # ...but the exact aggregates folded exactly.
+        assert target.summary()["sum"] == 1.0 + sum(range(10))
+        assert target.summary()["count"] == 11
+
+    def test_merge_summary_prefers_exact_sum(self):
+        target = Histogram("lat")
+        target.merge_summary({"count": 3, "mean": 2.0, "sum": 6.5,
+                              "min": 1.0, "max": 4.0})
+        assert target.total == 6.5
+
+    def test_csv_export_carries_approximate_and_sum(self):
+        registry = MetricsRegistry()
+        h = registry.scope("wq").histogram("residency_ns",
+                                           reservoir_size=8)
+        for i in range(100):
+            h.observe(float(i))
+        rows = registry.to_csv().splitlines()
+        fields = {tuple(r.split(",")[:2]) for r in rows[1:]}
+        assert ("wq.residency_ns", "approximate") in fields
+        assert ("wq.residency_ns", "sum") in fields

@@ -1,0 +1,87 @@
+"""Pin the disabled-observability path to zero per-event overhead.
+
+PR 6 added profiler/sampler hooks to the simulator.  These tests
+guarantee the *disabled* configuration (the default for every figure
+sweep and bench run) kept the PR 5 fast path:
+
+* structurally — no spans, no samples, no log records, and the
+  instrumented loop is never entered;
+* empirically — a guarded micro-benchmark asserting the obs-off
+  dispatch loop stays within 2% of a verbatim copy of the
+  pre-profiler loop (the ``repro bench`` gate runs the same check).
+"""
+
+import pytest
+
+from repro.harness.bench import bench_obs_overhead
+from repro.harness.runner import run_point
+from repro.obs import log as runlog
+from repro.obs.tracer import NULL_TRACER
+from repro.sim import Simulator
+from repro.workloads import WorkloadParams
+
+
+class TestDisabledPathStructure:
+    def test_hooks_default_to_none(self):
+        sim = Simulator()
+        assert sim.profile is None and sim.sampler is None
+
+    def test_fast_loop_never_enters_instrumented(self, monkeypatch):
+        sim = Simulator()
+
+        def forbidden(_until, _stop):
+            raise AssertionError(
+                "disabled run must use the fast loop")
+
+        monkeypatch.setattr(sim, "_run_instrumented", forbidden)
+        for _ in range(3):
+            sim.timeout(1.0)
+        assert sim.run() == 1.0
+        assert sim.events == 3
+
+    def test_instrumented_loop_used_when_profiler_attached(self):
+        from repro.obs.profile import SimProfiler
+
+        sim = Simulator()
+        sim.profile = SimProfiler()
+        sim.timeout(1.0)
+        sim.run()
+        assert sim.profile.total_events == 1
+
+    def test_disabled_run_allocates_no_obs_state(self):
+        result = run_point("queue", mode="janus",
+                           params=WorkloadParams(n_transactions=2))
+        assert result.transactions == 2
+        # No tracer given: the system wires the shared no-op tracer,
+        # which stores nothing.
+        assert len(NULL_TRACER) == 0
+        assert runlog.current() is None
+
+    def test_instrumented_and_fast_loops_agree(self):
+        params = WorkloadParams(n_transactions=3)
+        from repro.obs.profile import SimProfiler
+
+        plain = run_point("queue", mode="janus", params=params)
+        profiled = run_point("queue", mode="janus", params=params,
+                             profiler=SimProfiler())
+        assert profiled.elapsed_ns == plain.elapsed_ns
+        assert profiled.stats == plain.stats
+
+
+class TestDisabledPathTiming:
+    def test_obs_off_overhead_under_two_percent(self):
+        # Guarded micro-benchmark: best-of-each-side with sustained
+        # warm-up and GC paused already rejects transient load; retry
+        # the whole measurement a few times before declaring a
+        # regression so a noisy CI neighbour cannot fail the build (a
+        # real per-event cost fails all attempts deterministically).
+        overheads = []
+        for _ in range(3):
+            overhead = bench_obs_overhead(events=60_000,
+                                          repeats=6)["overhead"]
+            overheads.append(overhead)
+            if overhead < 0.02:
+                return
+        pytest.fail(
+            "disabled-path dispatch overhead above 2% in every "
+            "attempt: " + ", ".join(f"{o:.2%}" for o in overheads))
