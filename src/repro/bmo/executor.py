@@ -22,7 +22,8 @@ from repro.bmo.base import BmoContext
 from repro.bmo.pipeline import BmoPipeline
 from repro.common.errors import SimulationError
 from repro.obs.tracer import NULL_TRACER
-from repro.sim import Resource, Simulator
+from repro.sim import Resource, Simulator, quantize_ns
+from repro.sim.engine import Process, SimEvent
 from repro.sim.stats import StatSet
 
 
@@ -52,6 +53,28 @@ class BmoExecutor:
         self._h_serialized_block = \
             self.stats.histogram("serialized_block_ns")
         self._h_subop: Dict[str, object] = {}
+        # Interned per-subop strings: building "done:<name>" /
+        # "subop:<name>" per write showed up in dispatch profiles.
+        self._done_names = {n: "done:" + n
+                            for n in pipeline.graph.subops}
+        self._proc_names = {n: "subop:" + n
+                            for n in pipeline.graph.subops}
+        # Per-subop (total, occupancy) quantized once: latencies and
+        # the pipeline fraction are fixed for the executor's lifetime,
+        # so there is nothing to recompute per dispatched sub-op.
+        self._op_timing = {}
+        for n, op in pipeline.graph.subops.items():
+            if op.latency_ns > 0:
+                total = quantize_ns(op.latency_ns)
+                occupancy = min(total, quantize_ns(
+                    op.latency_ns * pipeline_fraction))
+            else:
+                total = occupancy = 0
+            self._op_timing[n] = (total, occupancy)
+        serial = pipeline.serial_latency()
+        self._serial_total = quantize_ns(serial)
+        self._serial_occupancy = min(
+            self._serial_total, quantize_ns(serial * pipeline_fraction))
 
     # -- serialized baseline ---------------------------------------------
     def run_serialized(self, ctx: BmoContext):
@@ -63,13 +86,22 @@ class BmoExecutor:
         vs. parallel compares latency composition, not unit counts.
         """
         start = self.sim.now
-        latency = self.pipeline.serial_latency()
-        yield self.units.acquire()
+        # Quantized occupancy/shadow split, precomputed in __init__ so
+        # the two delays sum to exactly the quantized serial latency
+        # (no per-leg rounding).
+        total = self._serial_total
+        occupancy = self._serial_occupancy
+        grant = self.units.acquire()
         try:
-            yield self.sim.timeout(latency * self.pipeline_fraction)
-        finally:
-            self.units.release()
-        yield self.sim.timeout(latency * (1.0 - self.pipeline_fraction))
+            yield grant
+        except BaseException:
+            self.units.cancel(grant)
+            raise
+        # The unit frees itself exactly at the end of the initiation
+        # interval via a scheduled callback; the process sleeps once
+        # for the full latency instead of resuming twice.
+        self.sim._schedule(occupancy, self.units.release)
+        yield self.sim.delay(total)
         self.pipeline.execute_all(ctx)
         self._h_serialized_block.observe(self.sim.now - start)
         if self.tracer.enabled:
@@ -102,32 +134,48 @@ class BmoExecutor:
                     raise SimulationError(
                         f"cannot run {name!r}: dependency {dep!r} neither "
                         f"completed nor scheduled")
+        sim = self.sim
+        done_names = self._done_names
+        proc_names = self._proc_names
+        # Direct constructor calls: the sim.event()/sim.process()
+        # factories are one extra frame per sub-op on the hottest
+        # allocation site in the write path.
         done: Dict[str, object] = {
-            name: self.sim.event(f"done:{name}") for name in targets}
+            name: SimEvent(sim, done_names[name]) for name in targets}
         children = [
-            self.sim.process(self._run_one(ctx, name, done),
-                             name=f"subop:{name}")
+            Process(sim, self._run_one(ctx, name, done),
+                    proc_names[name])
             for name in targets
         ]
-        yield self.sim.all_of(children)
+        if len(children) == 1:
+            yield children[0]
+        else:
+            yield sim.all_of(children)
         return ctx
 
     def _run_one(self, ctx: BmoContext, name: str,
                  done: Dict[str, object]):
         op = self.pipeline.graph.subops[name]
         waits = [done[d] for d in op.deps if d in done]
-        if waits:
+        if len(waits) == 1:
+            # Bypass the AllOf wrapper for single-dependency chains —
+            # the common case in the default pipeline's hash ladders.
+            yield waits[0]
+        elif waits:
             yield self.sim.all_of(waits)
-        ready = self.sim.now  # dependencies satisfied; queueing begins
+        sim = self.sim
+        ready = sim.now  # dependencies satisfied; queueing begins
+        total, occupancy = self._op_timing[name]
         if op.latency_ns > 0:
-            occupancy = op.latency_ns * self.pipeline_fraction
-            yield self.units.acquire()
-            exec_start = self.sim.now
+            grant = self.units.acquire()
             try:
-                yield self.sim.timeout(occupancy)
-            finally:
-                self.units.release()
-            yield self.sim.timeout(op.latency_ns - occupancy)
+                yield grant
+            except BaseException:
+                self.units.cancel(grant)
+                raise
+            exec_start = sim.now
+            sim._schedule(occupancy, self.units.release)
+            yield sim.delay(total)
             op.execute(ctx)
             if self.tracer.enabled:
                 self.tracer.complete(

@@ -70,11 +70,31 @@ class IntegrityBmo(BackendOperation):
     def _snapshot_path(self, ctx: BmoContext) -> None:
         leaf_value = leaf_value_for(ctx)
         index = self.leaf_index(ctx.addr)
-        path, siblings = self.tree.path_with_siblings(index, leaf_value)
+        if self.cfg.strict_sibling_invalidation:
+            path, siblings = self.tree.path_with_siblings(index, leaf_value)
+        else:
+            # The sibling snapshot is consumed only by the strict
+            # ablation mode's staleness judgement; the default model
+            # needs just the pre-executed path digests.
+            path = self.tree.path_digests(index, leaf_value)
+            siblings = None
         ctx.values["merkle_index"] = index
         ctx.values["merkle_leaf_value"] = leaf_value
         ctx.values["merkle_path"] = path
         ctx.values["merkle_siblings"] = siblings
+        ctx.values["merkle_tree_version"] = self.tree.mutations
+
+    def _snapshot_fresh(self, ctx: BmoContext) -> bool:
+        """True iff the recorded snapshot provably matches what a
+        recomputation against the live tree would produce: the tree
+        has not mutated since the snapshot and the leaf value (which
+        depends on earlier sub-op results a fault may have perturbed)
+        is unchanged."""
+        return (ctx.values.get("merkle_path") is not None
+                and ctx.values.get("merkle_tree_version")
+                == self.tree.mutations
+                and ctx.values.get("merkle_leaf_value")
+                == leaf_value_for(ctx))
 
     def _i1(self, ctx: BmoContext) -> None:
         self._snapshot_path(ctx)
@@ -84,6 +104,10 @@ class IntegrityBmo(BackendOperation):
         # siblings.  Refreshing the snapshot here is what lets a
         # partial re-execution (only upper levels stale) converge —
         # the recorded siblings match the live tree again afterwards.
+        # If the tree has not mutated since I1 the refresh would read
+        # back byte-identical state, so it is skipped.
+        if self._snapshot_fresh(ctx):
+            return
         self._snapshot_path(ctx)
 
     def subops(self) -> Tuple[SubOp, ...]:
@@ -114,11 +138,18 @@ class IntegrityBmo(BackendOperation):
 
     # -- commit / staleness --------------------------------------------
     def commit(self, ctx: BmoContext) -> None:
-        # Recompute against the live tree: correct regardless of how
-        # stale the pre-executed digests were.
         leaf_value = leaf_value_for(ctx)
         index = self.leaf_index(ctx.addr)
-        self.tree.update_leaf(index, leaf_value)
+        if self._snapshot_fresh(ctx) \
+                and ctx.values.get("merkle_index") == index:
+            # Janus's consume path: the pre-executed digests are
+            # provably identical to what a recomputation would yield,
+            # so install them directly.
+            self.tree.apply_path(ctx.values["merkle_path"])
+        else:
+            # Recompute against the live tree: correct regardless of
+            # how stale the pre-executed digests were.
+            self.tree.update_leaf(index, leaf_value)
         self.committed_leaves[index] = leaf_value
 
     def stale_subops(self, ctx: BmoContext) -> set:

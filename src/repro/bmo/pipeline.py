@@ -56,6 +56,8 @@ class BmoPipeline:
         self.graph = DependencyGraph(subops)
         self._serial_latency = sum(
             op.latency_ns for op in self.graph.subops.values())
+        # Static name set, used by the per-commit completeness check.
+        self._subop_names = frozenset(self.graph.subops)
 
     # -- context lifecycle ---------------------------------------------
     def make_context(self, addr: Optional[int] = None,
@@ -109,8 +111,8 @@ class BmoPipeline:
         Must be called with a fully-executed, non-stale context; the
         executor guarantees this by looping on :meth:`stale_subops`.
         """
-        missing = set(self.graph.subops) - ctx.completed
-        if missing:
+        if not self._subop_names.issubset(ctx.completed):
+            missing = self._subop_names - ctx.completed
             raise SimulationError(
                 f"commit with incomplete sub-ops: {sorted(missing)}")
         dedup = self.by_name.get("dedup")

@@ -121,6 +121,15 @@ def _add_log_arg(parser) -> None:
              "$REPRO_LOG sets the default")
 
 
+def _add_scheduler_arg(parser) -> None:
+    parser.add_argument(
+        "--scheduler", default=None, choices=("bucket", "heap"),
+        help="simulation dispatch structure: the bucketed calendar "
+             "queue (default) or the reference per-event heap — "
+             "behaviourally identical, the heap is the slow oracle "
+             "(default: $REPRO_SCHEDULER, then bucket)")
+
+
 def _add_timeseries_args(parser) -> None:
     parser.add_argument(
         "--timeseries", type=float, default=None, metavar="N",
@@ -196,6 +205,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="accepted for interface uniformity with the "
                           "sweep commands; a single design point "
                           "always runs inline")
+    _add_scheduler_arg(run)
     _add_timeseries_args(run)
     _add_log_arg(run)
 
@@ -280,6 +290,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "contend for cores, so the regression "
                             "gate and committed baselines are always "
                             "jobs=1)")
+    _add_scheduler_arg(bench)
 
     scrub = sub.add_parser(
         "scrub", help="crash, recover, and scrub one workload")
@@ -408,7 +419,8 @@ def cmd_run(args) -> int:
                            variant=args.variant, cores=args.cores,
                            params=_params(args), tracer=tracer,
                            sampler=sampler,
-                           check_invariants=args.check)
+                           check_invariants=args.check,
+                           scheduler=args.scheduler or "")
     except Exception as error:
         from repro.validate import InvariantViolation
         if not isinstance(error, InvariantViolation):
@@ -610,6 +622,11 @@ def cmd_misuse(args) -> int:
 def cmd_bench(args) -> int:
     from repro.harness import bench
 
+    if args.scheduler:
+        # Through the environment so --jobs worker processes (which
+        # construct their own Simulators) inherit the choice too.
+        os.environ["REPRO_SCHEDULER"] = args.scheduler
+
     directory = args.dir if args.dir is not None else bench.DEFAULT_DIR
     out = args.out if args.out is not None \
         else bench.bench_path(directory)
@@ -642,13 +659,17 @@ def cmd_bench(args) -> int:
         failures.append(
             f"irb_micro: indexed speedup {speedup:.2f}x below the "
             f"{args.min_irb_speedup:.1f}x floor")
-    overhead = report["obs_overhead"]["overhead"]
+    # The gate reasons about *added* cost, so negative raw readings
+    # (the obs-capable loop beating the baseline on timer noise) clamp
+    # to zero here; the raw signed value stays in the JSON report for
+    # trend analysis.
+    overhead = max(0.0, report["obs_overhead"]["overhead"])
     if overhead > args.max_obs_overhead:
         # One re-measure before failing: the micro is short, and the
         # gate should catch a real added per-event cost, not a
         # scheduler stall during the first sample.
         overhead = min(overhead,
-                       bench.bench_obs_overhead()["overhead"])
+                       max(0.0, bench.bench_obs_overhead()["overhead"]))
     if overhead > args.max_obs_overhead:
         failures.append(
             f"obs_overhead: disabled-path dispatch overhead "

@@ -25,6 +25,23 @@ from repro.common.errors import ConfigError
 from repro.common.units import CACHE_LINE_BYTES, KIB, MIB
 
 
+def _quantize_ns_fields(cfg) -> None:
+    """Snap integral ``*_ns`` latency fields to int at load time.
+
+    The simulator clock is integer-nanosecond; latencies that are
+    whole numbers of ns become ints here so scheduling never touches
+    float arithmetic for them.  Sub-ns *rates* (``instruction_ns =
+    0.25``) stay float — their products are quantized once per
+    scheduled delay by the simulator.
+    """
+    for f in dataclasses.fields(cfg):
+        if not f.name.endswith("_ns"):
+            continue
+        value = getattr(cfg, f.name)
+        if type(value) is float and value.is_integer():
+            setattr(cfg, f.name, int(value))
+
+
 @dataclass
 class CacheConfig:
     """On-chip cache hierarchy parameters (latency model, not tags)."""
@@ -241,9 +258,14 @@ class SystemConfig:
     #: (CLI ``repro run --check``).  Functional-only: violations raise
     #: ``InvariantViolation``, timing is unaffected.
     check_invariants: bool = False
+    #: Event-loop scheduler: ``"bucket"`` (calendar queue, default),
+    #: ``"heap"`` (reference loop), or ``""`` to defer to the
+    #: ``REPRO_SCHEDULER`` environment variable / the bucket default.
+    scheduler: str = ""
     seed: int = 42
 
     MODES = ("serialized", "parallel", "janus", "ideal")
+    SCHEDULERS = ("", "bucket", "heap")
 
     def validate(self) -> "SystemConfig":
         """Check the whole tree; returns self for chaining."""
@@ -252,6 +274,15 @@ class SystemConfig:
         if self.mode not in self.MODES:
             raise ConfigError(
                 f"mode must be one of {self.MODES}, got {self.mode!r}")
+        if self.scheduler not in self.SCHEDULERS:
+            raise ConfigError(
+                f"scheduler must be one of {self.SCHEDULERS}, "
+                f"got {self.scheduler!r}")
+        _quantize_ns_fields(self.core)
+        _quantize_ns_fields(self.cache)
+        _quantize_ns_fields(self.memory)
+        _quantize_ns_fields(self.bmo_latencies)
+        _quantize_ns_fields(self.janus)
         known_bmos = {"dedup", "encryption", "integrity", "compression",
                       "wear_leveling", "ecc", "oram"}
         for name in self.bmos:

@@ -114,7 +114,7 @@ class MemoryController:
         self._c_writebacks.add()
         start = self.sim.now
         # Cache hierarchy -> memory controller transfer (~15 ns).
-        yield self.sim.timeout(self.cfg.cache.writeback_ns)
+        yield self.sim.delay(self.cfg.cache.writeback_ns)
         data = system.volatile.read_line(line_addr)
 
         mode = self.cfg.mode
@@ -275,7 +275,7 @@ class Core:
     # -- compute ---------------------------------------------------------
     def compute(self, instructions: int):
         """Charge ``instructions`` of core-local work."""
-        yield self.sim.timeout(
+        yield self.sim.delay(
             instructions * self.cfg.core.instruction_ns)
 
     def _access_latency(self, addr: int, size: int,
@@ -303,14 +303,14 @@ class Core:
     # -- loads / stores -----------------------------------------------------
     def read(self, addr: int, size: int):
         """Process: load ``size`` bytes; returns them."""
-        yield self.sim.timeout(self._access_latency(addr, size,
-                                                    is_read=True))
+        yield self.sim.delay(self._access_latency(addr, size,
+                                                  is_read=True))
         self._c_reads.add()
         return self.system.volatile.read(addr, size)
 
     def store(self, addr: int, data: bytes):
         """Process: store ``data``; volatile until written back."""
-        yield self.sim.timeout(self._access_latency(addr, len(data)))
+        yield self.sim.delay(self._access_latency(addr, len(data)))
         self.system.volatile.write(addr, data)
         self._c_stores.add()
 
@@ -325,10 +325,10 @@ class Core:
             proc = self.sim.process(
                 self.system.controller.writeback(
                     self.core_id, line, critical=critical),
-                name=f"clwb:{line:#x}")
+                name="clwb")
             self._outstanding.append(proc)
             self._c_clwbs.add()
-        yield self.sim.timeout(self.cfg.core.instruction_ns)
+        yield self.sim.delay(self.cfg.core.instruction_ns)
 
     def sfence(self):
         """Block until every outstanding writeback is persistent."""
@@ -359,7 +359,7 @@ class NvmSystem:
     def __init__(self, config: SystemConfig, tracer: Optional[Tracer] = None,
                  injector=None):
         self.cfg = config.validate()
-        self.sim = Simulator()
+        self.sim = Simulator(config.scheduler or None)
         self.rng = DeterministicRng(config.seed)
         #: Unified observability: one registry + one tracer for every
         #: component.  The tracer starts disabled (near-zero overhead)

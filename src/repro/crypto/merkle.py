@@ -19,9 +19,12 @@ from typing import Dict, List, Tuple
 from repro.common.errors import IntegrityError
 
 
+_sha1 = hashlib.sha1
+
+
 def _node_hash(children: bytes) -> bytes:
     """SHA-1 over concatenated child digests (paper uses SHA-1)."""
-    return hashlib.sha1(children).digest()
+    return _sha1(children).digest()
 
 
 class MerkleTree:
@@ -41,6 +44,11 @@ class MerkleTree:
         self._nodes: List[Dict[int, bytes]] = [
             {} for _ in range(height + 1)]
         self._empty = self._empty_digests()
+        #: Monotone count of tree mutations.  Two reads of the tree
+        #: with the same ``mutations`` value observe identical state,
+        #: which lets pre-executed path snapshots prove themselves
+        #: still fresh without re-reading any node.
+        self.mutations = 0
 
     def _empty_digests(self) -> List[bytes]:
         """Digest of an all-empty subtree at each level."""
@@ -81,20 +89,24 @@ class MerkleTree:
         must not touch tree state (requirement 1 of §3.2).
         """
         self._check_leaf_index(index)
+        arity = self.arity
+        nodes = self._nodes
+        empty = self._empty
         path: List[Tuple[int, int, bytes]] = []
-        digest = hashlib.sha1(leaf_value).digest()
+        digest = _sha1(leaf_value).digest()
         path.append((0, index, digest))
         node_index = index
         for level in range(1, self.height + 1):
-            parent_index = node_index // self.arity
-            first_child = parent_index * self.arity
-            blob = b""
-            for child in range(first_child, first_child + self.arity):
-                if child == node_index:
-                    blob += digest
-                else:
-                    blob += self.node(level - 1, child)
-            digest = _node_hash(blob)
+            parent_index = node_index // arity
+            first_child = parent_index * arity
+            level_nodes = nodes[level - 1]
+            level_empty = empty[level - 1]
+            parts = [
+                digest if child == node_index
+                else level_nodes.get(child, level_empty)
+                for child in range(first_child, first_child + arity)
+            ]
+            digest = _sha1(b"".join(parts)).digest()
             path.append((level, parent_index, digest))
             node_index = parent_index
         return path
@@ -112,23 +124,29 @@ class MerkleTree:
         (Janus charges only that partial re-hash).
         """
         self._check_leaf_index(index)
+        arity = self.arity
+        nodes = self._nodes
+        empty = self._empty
         path: List[Tuple[int, int, bytes]] = []
         siblings: Dict[Tuple[int, int], bytes] = {}
-        digest = hashlib.sha1(leaf_value).digest()
+        digest = _sha1(leaf_value).digest()
         path.append((0, index, digest))
         node_index = index
         for level in range(1, self.height + 1):
-            parent_index = node_index // self.arity
-            first_child = parent_index * self.arity
-            blob = b""
-            for child in range(first_child, first_child + self.arity):
+            parent_index = node_index // arity
+            first_child = parent_index * arity
+            child_level = level - 1
+            level_nodes = nodes[child_level]
+            level_empty = empty[child_level]
+            parts = []
+            for child in range(first_child, first_child + arity):
                 if child == node_index:
-                    blob += digest
+                    parts.append(digest)
                 else:
-                    sib = self.node(level - 1, child)
-                    siblings[(level - 1, child)] = sib
-                    blob += sib
-            digest = _node_hash(blob)
+                    sib = level_nodes.get(child, level_empty)
+                    siblings[(child_level, child)] = sib
+                    parts.append(sib)
+            digest = _sha1(b"".join(parts)).digest()
             path.append((level, parent_index, digest))
             node_index = parent_index
         return path, siblings
@@ -142,15 +160,19 @@ class MerkleTree:
         redone from the node at level ``L`` upwards.
         """
         stale = self.height + 1
+        nodes = self._nodes
+        empty = self._empty
         for (level, child), digest in siblings.items():
-            if self.node(level, child) != digest:
+            if nodes[level].get(child, empty[level]) != digest:
                 stale = min(stale, level + 1)
         return stale
 
     def apply_path(self, path: List[Tuple[int, int, bytes]]) -> bytes:
         """Install precomputed path digests; returns the new root."""
+        self.mutations += 1
+        nodes = self._nodes
         for level, node_index, digest in path:
-            self._nodes[level][node_index] = digest
+            nodes[level][node_index] = digest
         return self.root
 
     def update_leaf(self, index: int, leaf_value: bytes) -> bytes:
@@ -164,18 +186,22 @@ class MerkleTree:
         authentic iff the recomputed root equals the stored root.
         """
         self._check_leaf_index(index)
-        digest = hashlib.sha1(leaf_value).digest()
+        arity = self.arity
+        nodes = self._nodes
+        empty = self._empty
+        digest = _sha1(leaf_value).digest()
         node_index = index
         for level in range(1, self.height + 1):
-            parent_index = node_index // self.arity
-            first_child = parent_index * self.arity
-            blob = b""
-            for child in range(first_child, first_child + self.arity):
-                if child == node_index:
-                    blob += digest
-                else:
-                    blob += self.node(level - 1, child)
-            digest = _node_hash(blob)
+            parent_index = node_index // arity
+            first_child = parent_index * arity
+            level_nodes = nodes[level - 1]
+            level_empty = empty[level - 1]
+            parts = [
+                digest if child == node_index
+                else level_nodes.get(child, level_empty)
+                for child in range(first_child, first_child + arity)
+            ]
+            digest = _sha1(b"".join(parts)).digest()
             node_index = parent_index
         return digest == self.root
 
@@ -188,3 +214,4 @@ class MerkleTree:
 
     def restore(self, snap: dict) -> None:
         self._nodes = [dict(level) for level in snap["nodes"]]
+        self.mutations += 1

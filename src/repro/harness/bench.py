@@ -257,30 +257,75 @@ def _dispatch_cascade(sim: Simulator, events: int) -> None:
 
 
 def _baseline_loop(sim: Simulator, until=None, stop_event=None) -> float:
-    """The pre-profiler dispatch loop, verbatim — the PR 5 baseline
-    the obs-off gate measures :meth:`Simulator.run` against.  Keeping
-    the peek and the ``stop_event``/``until``/monotonicity checks is
-    what makes the comparison honest: those costs predate the profiler
-    hooks and must not be counted as overhead."""
-    import heapq
+    """The bare bucketed dispatch loop, verbatim — the obs-off gate
+    measures :meth:`Simulator.run` against this copy of
+    ``Simulator._run_bucket`` with no profiler/sampler delegation
+    check.  Keeping the batch bookkeeping and the
+    ``stop_event``/``until``/monotonicity checks is what makes the
+    comparison honest: those costs belong to the scheduler itself and
+    must not be counted as observability overhead."""
+    from heapq import heappop
 
     from repro.common.errors import SimulationError
-    heap = sim._heap
-    while heap:
-        if stop_event is not None and stop_event.triggered:
-            break
-        time_, _seq, fn, args = heap[0]
-        if until is not None and time_ > until:
-            sim.now = until
-            return sim.now
-        heapq.heappop(heap)
-        if time_ < sim.now:
-            raise SimulationError("time went backwards")
-        sim.now = time_
-        sim.events += 1
-        fn(*args)
-    stopped = stop_event is not None and stop_event.triggered
-    if until is not None and not heap and not stopped:
+    buckets = sim._buckets
+    times = sim._times
+    batch = sim._batch
+    pos = sim._batch_pos
+    base = pos
+    dispatched = 0
+    stopped = False
+    try:
+        while True:
+            if pos < len(batch):
+                if stop_event is not None and stop_event.triggered:
+                    stopped = True
+                    break
+                if until is not None and sim._batch_time > until:
+                    sim.now = until
+                    return sim.now
+                if stop_event is None:
+                    if pos:
+                        while pos < len(batch):
+                            fn, args = batch[pos]
+                            pos += 1
+                            fn(*args)
+                    else:
+                        for pos, (fn, args) in enumerate(batch, 1):
+                            fn(*args)
+                else:
+                    while pos < len(batch):
+                        if stop_event.triggered:
+                            stopped = True
+                            break
+                        fn, args = batch[pos]
+                        pos += 1
+                        fn(*args)
+                    if stopped:
+                        break
+                continue
+            if stop_event is not None and stop_event.triggered:
+                stopped = True
+                break
+            if not times:
+                break
+            time_ = times[0]
+            if until is not None and time_ > until:
+                sim.now = until
+                return sim.now
+            heappop(times)
+            if time_ < sim.now:
+                raise SimulationError("time went backwards")
+            dispatched += pos - base
+            sim.now = time_
+            sim._batch_time = time_
+            batch = sim._batch = buckets.pop(time_)
+            pos = 0
+            base = 0
+    finally:
+        sim.events += dispatched + (pos - base)
+        sim._batch_pos = pos
+    if until is not None and not times and pos >= len(batch) \
+            and not stopped:
         sim.now = max(sim.now, until)
     return sim.now
 
@@ -339,7 +384,7 @@ def bench_obs_overhead(events: int = 120_000,
     deadline = time.perf_counter() + 0.5
     while time.perf_counter() < deadline:
         for loop in (lambda s: s.run(), _baseline_loop):
-            sim = Simulator()
+            sim = Simulator("bucket")
             _dispatch_cascade(sim, min(events, 20_000))
             loop(sim)
 
@@ -347,7 +392,7 @@ def bench_obs_overhead(events: int = 120_000,
     gc_was_enabled = gc.isenabled()
     try:
         for _ in range(repeats):
-            sim = Simulator()
+            sim = Simulator("bucket")
             _dispatch_cascade(sim, events)
             gc.collect()
             gc.disable()
@@ -357,7 +402,7 @@ def bench_obs_overhead(events: int = 120_000,
             if gc_was_enabled:
                 gc.enable()
 
-            sim = Simulator()
+            sim = Simulator("bucket")
             _dispatch_cascade(sim, events)
             gc.collect()
             gc.disable()
@@ -395,8 +440,9 @@ def run_bench(quick: bool = False, seed: int = 0,
     names = list(workloads) if workloads else sorted(WORKLOADS)
     txns = 6 if quick else 24
     # Quick runs are short enough that a single sample is noisy on
-    # shared CI runners; best-of-2 keeps the regression gate stable.
-    repeats = 2
+    # shared CI runners; best-of-3 keeps the regression gate stable
+    # (full runs are long enough for best-of-2).
+    repeats = 3 if quick else 2
     executor = ParallelExecutor(jobs=jobs, progress=progress)
     results = executor.map_values(
         [SweepTask(key=(name,), fn="repro.harness.bench:bench_workload",
@@ -488,30 +534,60 @@ def _normalised_eps(report: Dict, workload: str,
     return eps
 
 
+#: Extra slack on per-workload checks over the aggregate threshold.
+#: Individual workload samples are a fraction of a second of wall
+#: clock; ±30% swings from shared-host noise are routine, so gating
+#: each workload at the aggregate threshold made the gate flaky.
+WORKLOAD_NOISE_ALLOWANCE = 0.15
+
+
 def compare(baseline: Dict, current: Dict,
             threshold: float = DEFAULT_THRESHOLD) -> List[str]:
     """Regressions of ``current`` vs ``baseline`` beyond ``threshold``.
 
-    Compares per-workload events/sec, normalised by each report's
-    calibration score when both have one (so a slower CI host does not
-    read as a code regression).  Returns human-readable descriptions;
-    an empty list means the gate passes.
+    Compares events/sec normalised by each report's calibration score
+    when both have one (so a slower CI host does not read as a code
+    regression).  Two tiers:
+
+    * the **total** across all workloads — where independent
+      per-workload noise largely averages out — gates at
+      ``threshold``;
+    * each **individual workload** gates at ``threshold`` plus
+      :data:`WORKLOAD_NOISE_ALLOWANCE`, catching a catastrophic
+      single-workload regression that a healthy aggregate could hide.
+
+    Returns human-readable descriptions; an empty list means the gate
+    passes.
     """
     regressions: List[str] = []
     calibrated = bool(
         baseline.get("meta", {}).get("calibration_ops_per_sec")
         and current.get("meta", {}).get("calibration_ops_per_sec"))
+    unit = "normalised events/sec" if calibrated else "events/sec"
+    workload_threshold = min(0.9, threshold + WORKLOAD_NOISE_ALLOWANCE)
     for workload in sorted(baseline.get("workloads", {})):
         base = _normalised_eps(baseline, workload, calibrated)
         cur = _normalised_eps(current, workload, calibrated)
         if base is None or cur is None or base <= 0:
             continue
         drop = 1.0 - cur / base
-        if drop > threshold:
-            unit = "normalised events/sec" if calibrated else "events/sec"
+        if drop > workload_threshold:
             regressions.append(
                 f"{workload}: {unit} fell {drop:.0%} "
-                f"({base:.3g} -> {cur:.3g}, threshold {threshold:.0%})")
+                f"({base:.3g} -> {cur:.3g}, "
+                f"threshold {workload_threshold:.0%})")
+    base_total = baseline.get("totals", {}).get("events_per_sec")
+    cur_total = current.get("totals", {}).get("events_per_sec")
+    if base_total and cur_total is not None:
+        if calibrated:
+            base_total /= baseline["meta"]["calibration_ops_per_sec"]
+            cur_total /= current["meta"]["calibration_ops_per_sec"]
+        drop = 1.0 - cur_total / base_total
+        if drop > threshold:
+            regressions.append(
+                f"total: {unit} fell {drop:.0%} "
+                f"({base_total:.3g} -> {cur_total:.3g}, "
+                f"threshold {threshold:.0%})")
     return regressions
 
 

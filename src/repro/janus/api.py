@@ -85,7 +85,7 @@ class JanusInterface:
         if not self.enabled:
             return
         self.calls += 1
-        yield self.sim.timeout(self.issue_cost_ns)
+        yield self.sim.delay(self.issue_cost_ns)
         self.engine.submit(PreExecRequest(
             pre_id=obj.pre_id, thread_id=obj.thread_id,
             transaction_id=obj.transaction_id, func=func,
@@ -149,7 +149,7 @@ class JanusInterface:
         """PRE_START_BUF: release this object's buffered requests."""
         if not self.enabled:
             return
-        yield self.sim.timeout(self.issue_cost_ns)
+        yield self.sim.delay(self.issue_cost_ns)
         self.engine.start_buffered(obj.pre_id, self.thread_id)
 
     # -- lifecycle -----------------------------------------------------------

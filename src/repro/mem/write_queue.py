@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.common.config import MemoryConfig
+from repro.common.errors import SimulationError
 from repro.mem.nvm_device import NvmDevice
 from repro.obs.tracer import NULL_TRACER
 from repro.sim import Resource, Simulator
@@ -33,7 +34,10 @@ class WriteEntry:
     #: memory controller uses it to land ciphertext in functional NVM.
     on_drain: Optional[Callable[["WriteEntry"], None]] = None
     metadata: dict = field(default_factory=dict)
-    accepted_at: float = 0.0
+    #: Set by :meth:`WriteQueue.accept` at the persist point.  ``None``
+    #: until then, so residency accounting can never silently observe
+    #: a not-yet-accepted entry as "accepted at t=0".
+    accepted_at: Optional[int] = None
 
 
 class WriteQueue:
@@ -72,7 +76,14 @@ class WriteQueue:
         device write continues in the background.
         """
         arrival = self.sim.now
-        yield self._slots.acquire()
+        grant = self._slots.acquire()
+        try:
+            yield grant
+        except BaseException:
+            # Killed while stalled on a full queue: withdraw the slot
+            # request so the dead waiter can't leak capacity.
+            self._slots.cancel(grant)
+            raise
         self.accepted += 1
         self._c_accepted.add()
         self._h_occupancy.observe(self.outstanding)
@@ -97,6 +108,9 @@ class WriteQueue:
                     self.injector.on_device_write(entry)
             self.drained += 1
             self._c_drained.add()
+            if entry.accepted_at is None:
+                raise SimulationError(
+                    f"drain of unaccepted write entry {entry.addr:#x}")
             self._h_residency.observe(self.sim.now - entry.accepted_at)
             if self.tracer.enabled:
                 self.tracer.complete(

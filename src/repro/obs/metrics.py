@@ -113,8 +113,12 @@ class Histogram:
         self.count += 1
         self._local_count += 1
         self.total += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
+        # Inline compares: two builtin min/max calls per observation
+        # showed up in write-path dispatch profiles.
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
         if self._samples is None:
             return
         if len(self._samples) < self.reservoir_size:

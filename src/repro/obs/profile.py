@@ -23,7 +23,10 @@ switches :meth:`Simulator.run` onto its instrumented loop; with no
 profiler (and no sampler) the fast loop is the *unmodified* dispatch
 loop, so the disabled path costs exactly one ``is None`` check per
 ``run()`` call — not per event (pinned by
-``tests/test_obs_overhead.py``).
+``tests/test_obs_overhead.py``).  There is one instrumented loop per
+scheduler — the bucketed calendar queue and the reference heap — each
+mirroring its fast loop's dispatch order exactly, so a profile never
+changes what it measures.
 """
 
 import re

@@ -9,11 +9,16 @@ parallel sweep executor guarantees for its reports.
 
 The sampler deliberately does **not** schedule simulator events: a
 self-rescheduling "sampler process" would inflate the event count,
-keep the heap non-empty forever, and perturb ``run(until=...)``
-semantics.  Instead the :class:`~repro.sim.engine.Simulator` dispatch
-loop calls :meth:`on_advance` whenever the clock crosses the next
-sample boundary (see ``Simulator.run`` — the check only exists on the
-instrumented loop, so an unsampled run pays nothing).
+keep the event queue non-empty forever, and perturb
+``run(until=...)`` semantics.  Instead the
+:class:`~repro.sim.engine.Simulator` dispatch loop calls
+:meth:`on_advance` whenever the clock crosses the next sample
+boundary (see ``Simulator.run`` — the check only exists on the
+instrumented loop, so an unsampled run pays nothing).  Under the
+default bucketed scheduler the clock only advances *between* same-time
+batches, so the boundary check runs once per batch rather than once
+per event — the sample points are identical either way because a
+boundary can only be crossed where time advances.
 
 Outputs:
 

@@ -1,9 +1,62 @@
-"""Core event loop, events, and processes."""
+"""Core event loop, events, and processes.
 
-import heapq
+The clock is an **integer-nanosecond** counter.  Delays may be passed
+as floats (configs keep sub-ns rates like ``instruction_ns = 0.25``);
+they are quantized to the grid exactly once, at the scheduling
+boundary, with round-half-up (:func:`quantize_ns`).  All arithmetic on
+``Simulator.now`` is therefore exact, which kills float drift and the
+cross-platform "time went backwards" hazard the old float clock had.
+
+Two interchangeable schedulers share identical semantics:
+
+* ``bucket`` (default) — a calendar-queue: a dict of
+  ``timestamp -> [callback, ...]`` buckets plus a small heap of
+  *distinct* timestamps.  Events at the same instant dispatch as one
+  batch, so the per-event cost is a list append on schedule and a list
+  index on dispatch; the heap is touched once per distinct timestamp
+  instead of once per event.
+* ``heap`` — the original per-event ``(time, seq, fn, args)`` heapq
+  loop, kept as the reference implementation
+  (``--scheduler=heap`` / ``REPRO_SCHEDULER=heap``).
+
+Both dispatch events in exactly the same order: the bucket batch is
+FIFO within a timestamp, which is precisely what the heap's ``seq``
+tie-breaker produced.  ``repro.validate.oracles.SchedulerLockstep``
+checks this on randomized programs.
+
+:meth:`Simulator.delay` is the trampoline-bypass fast path for the
+dominant "yield a timeout nobody else can see" pattern: it returns a
+pooled :class:`Delay` marker that :meth:`Process._step` recognizes and
+turns into a direct re-schedule of the process — no :class:`Timeout`
+allocation, no callback registration, no dispatch round-trip, yet the
+same single dispatched callback and the same ordering as
+``yield sim.timeout(ns)``.
+"""
+
+import os
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.common.errors import SimulationError
+
+SCHEDULERS = ("bucket", "heap")
+
+
+def quantize_ns(delay) -> int:
+    """Quantize a non-negative delay to the integer-ns grid.
+
+    Integers pass through; floats round half-up (``int(d + 0.5)``), so
+    sub-ns quantities computed from rate-style configs (e.g.
+    ``instructions * 0.25``) land on the nearest tick deterministically
+    on every platform.
+    """
+    if type(delay) is int:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return delay
+    if delay < 0:
+        raise SimulationError(f"negative delay {delay}")
+    return int(delay + 0.5)
 
 
 class SimEvent:
@@ -50,6 +103,20 @@ class SimEvent:
         else:
             self._callbacks.append(fn)
 
+    def remove_callback(self, fn: Callable[["SimEvent"], None]) -> bool:
+        """Deregister a waiter added with :meth:`add_callback`.
+
+        Returns ``True`` if the callback was found and removed.  Used
+        by cancellation (:meth:`Process.interrupt`,
+        :meth:`repro.sim.resources.Resource.cancel`) so a dead waiter
+        is never resumed.
+        """
+        try:
+            self._callbacks.remove(fn)
+            return True
+        except ValueError:
+            return False
+
     def _dispatch(self) -> None:
         callbacks, self._callbacks = self._callbacks, []
         for fn in callbacks:
@@ -68,7 +135,14 @@ class Timeout(SimEvent):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout {delay}")
-        super().__init__(sim, name=f"timeout({delay})")
+        # SimEvent.__init__, flattened: timeouts are allocated on the
+        # write path's hot loops.
+        self.sim = sim
+        self.name = f"timeout({delay})"
+        self._callbacks = []
+        self.triggered = False
+        self.value = None
+        self._exc = None
         self.delay = delay
         sim._schedule(delay, self._fire, value)
 
@@ -85,6 +159,19 @@ class Timeout(SimEvent):
         self._dispatch()
 
 
+class Delay:
+    """Pooled marker returned by :meth:`Simulator.delay`.
+
+    Not an event: it has no callbacks, no trigger state, and must only
+    be yielded — immediately — by the process that created it.
+    :meth:`Process._step` consumes it, schedules the process's own
+    resume directly, and returns the marker to the pool.  Never store
+    one or yield it twice.
+    """
+
+    __slots__ = ("ns", "value")
+
+
 class AllOf(SimEvent):
     """Triggers after every child event has triggered.
 
@@ -96,7 +183,13 @@ class AllOf(SimEvent):
     __slots__ = ("_children", "_remaining")
 
     def __init__(self, sim: "Simulator", events: Iterable[SimEvent]):
-        super().__init__(sim, name="all_of")
+        # SimEvent.__init__, flattened (one AllOf per multi-dep wait).
+        self.sim = sim
+        self.name = "all_of"
+        self._callbacks = []
+        self.triggered = False
+        self.value = None
+        self._exc = None
         self._children = list(events)
         self._remaining = len(self._children)
         if self._remaining == 0:
@@ -121,55 +214,133 @@ class Process(SimEvent):
 
     The process itself is an event that triggers with the generator's
     return value, so processes can wait on each other.
+
+    ``_target`` is the event the process is currently parked on (or
+    ``None`` while running / sleeping on a :class:`Delay`); ``_epoch``
+    counts resumptions.  Together they make :meth:`interrupt` safe: a
+    stale wake-up — the original event firing after the process was
+    interrupted away from it, or a pooled delay resume out-raced by an
+    interrupt — is recognized and dropped.
     """
 
-    __slots__ = ("_gen",)
+    __slots__ = ("_gen", "_send", "_throw", "_target", "_epoch")
 
     def __init__(self, sim: "Simulator",
                  gen: Generator[SimEvent, Any, Any], name: str = ""):
-        super().__init__(sim, name=name or getattr(gen, "__name__", "proc"))
+        # SimEvent.__init__, flattened: one Process per activity, the
+        # hottest allocation in the kernel after Delay markers.
+        self.sim = sim
+        self.name = name or getattr(gen, "__name__", "proc")
+        self._callbacks = []
+        self.triggered = False
+        self.value = None
+        self._exc = None
         self._gen = gen
+        # Bound methods cached once: _step runs for every resume of
+        # every process — the hottest call site in the kernel.
+        self._send = gen.send
+        self._throw = gen.throw
+        self._target: Optional[SimEvent] = None
+        self._epoch = 0
         sim._schedule_now(self._step, None, None)
 
-    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+    def _step(self, value: Any,
+              exc: Optional[BaseException], epoch: int = -1) -> None:
+        if epoch >= 0 and epoch != self._epoch:
+            # Stale scheduled resume (delay out-raced by interrupt, or
+            # a superseded interrupt): the process has moved on.
+            return
+        self._epoch += 1
+        self._target = None
         try:
             if exc is not None:
-                target = self._gen.throw(exc)
+                target = self._throw(exc)
             else:
-                target = self._gen.send(value)
+                target = self._send(value)
         except StopIteration as stop:
             if not self.triggered:
-                self.succeed(getattr(stop, "value", None))
+                self.succeed(stop.value)
             return
         except BaseException as err:
             if not self.triggered:
                 self.fail(err)
                 return
             raise
+        if target.__class__ is Delay:
+            # Fast path: resume directly after the delay — no Timeout
+            # object, no callback list, no event dispatch.  Still one
+            # dispatched callback at the same (time, order) slot the
+            # equivalent Timeout._fire would have occupied.
+            sim = self.sim
+            sim._schedule(target.ns, self._step,
+                          target.value, None, self._epoch)
+            target.value = None
+            pool = sim._delay_pool
+            if len(pool) < 64:
+                pool.append(target)
+            return
         if not isinstance(target, SimEvent):
             self._step(None, SimulationError(
                 f"process {self.name!r} yielded non-event {target!r}"))
             return
+        self._target = target
         target.add_callback(self._resume)
 
     def _resume(self, event: SimEvent) -> None:
+        if self._target is not event:
+            # Interrupted away from this event before it fired.
+            return
         if event._exc is not None:
             self._step(None, event._exc)
         else:
             self._step(event.value, None)
 
+    def interrupt(self, exc: BaseException) -> None:
+        """Throw ``exc`` into the process at its current wait point.
+
+        The process resumes on the next tick with ``exc`` raised at
+        its ``yield``; whatever it was parked on is forgotten (the
+        event may still fire — the wake-up is dropped).  The target of
+        the interrupt is expected to clean up via ``try/except`` (see
+        :meth:`repro.sim.resources.Resource.use`).  Interrupting an
+        already-finished process is an error.
+        """
+        if self.triggered:
+            raise SimulationError(
+                f"interrupt of finished process {self.name!r}")
+        target = self._target
+        if target is not None:
+            self._target = None
+            target.remove_callback(self._resume)
+        # Invalidate any in-flight delay resume, then deliver the
+        # exception under the *new* epoch so a later interrupt (or
+        # resumption) supersedes this one.
+        self._epoch += 1
+        self.sim._schedule_now(self._step, None, exc, self._epoch)
+
 
 class Simulator:
-    """The event loop: a time-ordered heap of callbacks."""
+    """The event loop.
 
-    def __init__(self) -> None:
-        self.now: float = 0.0
-        self._heap: List = []
-        self._seq = 0
-        self._finished = False
+    ``scheduler`` selects the dispatch structure: ``"bucket"`` (the
+    default calendar queue) or ``"heap"`` (the reference per-event
+    heap).  When ``None``, the ``REPRO_SCHEDULER`` environment
+    variable decides, falling back to ``"bucket"`` — which is how the
+    CI heap smoke leg runs the whole suite against the reference loop.
+    """
+
+    def __init__(self, scheduler: Optional[str] = None) -> None:
+        if not scheduler:
+            scheduler = os.environ.get("REPRO_SCHEDULER") or "bucket"
+        if scheduler not in SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; choose from {SCHEDULERS}")
+        self.scheduler = scheduler
+        self.now = 0
         #: Callbacks dispatched so far (one per resumed process step,
         #: event dispatch, or fired timeout) — the denominator of the
-        #: bench harness's events/sec throughput metric.
+        #: bench harness's events/sec throughput metric.  Identical
+        #: under both schedulers.
         self.events: int = 0
         #: Optional :class:`repro.obs.profile.SimProfiler`.  Attach by
         #: assignment before :meth:`run`; ``None`` keeps the fast loop.
@@ -177,20 +348,80 @@ class Simulator:
         #: Optional :class:`repro.obs.timeseries.TimeSeriesSampler`,
         #: driven from the instrumented loop at sample boundaries.
         self.sampler = None
+        #: Recycled :class:`Delay` markers (bounded free list).
+        self._delay_pool: List[Delay] = []
+        if scheduler == "heap":
+            self._heap: List = []
+            self._seq = 0
+            self._schedule = self._schedule_heap
+            self._schedule_now = self._schedule_now_heap
+            self._run_fast = self._run_heap
+        else:
+            #: timestamp -> list of ``(fn, args)`` in schedule order.
+            self._buckets = {}
+            #: Heap of *distinct* pending timestamps (each pushed once,
+            #: when its bucket is created).
+            self._times: List[int] = []
+            #: Batch currently being drained, its cursor, and its
+            #: timestamp (-1 = no batch yet).  A batch interrupted by
+            #: ``stop_event`` persists here and resumes on the next
+            #: :meth:`run`.
+            self._batch: List = []
+            self._batch_pos = 0
+            self._batch_time = -1
+            self._schedule = self._schedule_bucket
+            self._schedule_now = self._schedule_now_bucket
+            self._run_fast = self._run_bucket
 
     # -- scheduling ----------------------------------------------------
-    def _schedule(self, delay: float, fn: Callable, *args) -> None:
-        if delay < 0:
+    def _schedule_bucket(self, delay, fn: Callable, *args) -> None:
+        if type(delay) is not int:
+            if delay < 0:
+                raise SimulationError(f"negative delay {delay}")
+            delay = int(delay + 0.5)
+        elif delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        time = self.now + delay
+        if time == self._batch_time:
+            # Same-instant event scheduled while its batch is live (or
+            # just drained at the current time): append to the batch so
+            # it dispatches in FIFO order, exactly like the heap's seq
+            # tie-breaker.
+            self._batch.append((fn, args))
+            return
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [(fn, args)]
+            heappush(self._times, time)
+        else:
+            bucket.append((fn, args))
+
+    def _schedule_now_bucket(self, fn: Callable, *args) -> None:
+        # Hot path: called for every process step and event dispatch.
+        if self.now == self._batch_time:
+            self._batch.append((fn, args))
+            return
+        time = self.now
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [(fn, args)]
+            heappush(self._times, time)
+        else:
+            bucket.append((fn, args))
+
+    def _schedule_heap(self, delay, fn: Callable, *args) -> None:
+        if type(delay) is not int:
+            if delay < 0:
+                raise SimulationError(f"negative delay {delay}")
+            delay = int(delay + 0.5)
+        elif delay < 0:
             raise SimulationError(f"negative delay {delay}")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
+        heappush(self._heap, (self.now + delay, self._seq, fn, args))
 
-    def _schedule_now(self, fn: Callable, *args) -> None:
-        # Hot path: called for every process step and event dispatch.
-        # Pushing at ``self.now`` directly skips the negative-delay
-        # check and float add in :meth:`_schedule`.
+    def _schedule_now_heap(self, fn: Callable, *args) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self.now, self._seq, fn, args))
+        heappush(self._heap, (self.now, self._seq, fn, args))
 
     # -- public factory helpers ----------------------------------------
     def event(self, name: str = "") -> SimEvent:
@@ -200,6 +431,22 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires after ``delay`` ns."""
         return Timeout(self, delay, value)
+
+    def delay(self, ns, value: Any = None) -> Delay:
+        """Fast-path sleep: ``yield sim.delay(ns)`` inside a process.
+
+        Semantically identical to ``yield sim.timeout(ns)`` — same
+        quantization, same dispatch count, same ordering — but the
+        process is resumed directly instead of through a Timeout event
+        and its callback list.  Use only for delays nobody else waits
+        on; the returned marker must be yielded immediately and never
+        reused.
+        """
+        pool = self._delay_pool
+        marker = pool.pop() if pool else Delay()
+        marker.ns = ns
+        marker.value = value
+        return marker
 
     def process(self, gen: Generator, name: str = "") -> Process:
         """Start ``gen`` as a concurrent process."""
@@ -212,10 +459,10 @@ class Simulator:
     # -- running ---------------------------------------------------------
     def run(self, until: Optional[float] = None,
             stop_event: Optional[SimEvent] = None) -> float:
-        """Drain events until the heap empties, ``until`` is reached,
+        """Drain events until the queue empties, ``until`` is reached,
         or ``stop_event`` triggers.  Returns the final simulation time.
 
-        When the heap drains before ``until`` and the run was *not*
+        When the queue drains before ``until`` and the run was *not*
         ended by ``stop_event``, the clock advances to ``until`` — the
         same result whether or not a (never-triggered) ``stop_event``
         was passed.
@@ -223,10 +470,91 @@ class Simulator:
         With a :attr:`profile` or :attr:`sampler` attached the run is
         delegated to :meth:`_run_instrumented`; the check happens once
         per ``run()`` call, never per event, so disabled-observability
-        runs execute this exact loop unchanged.
+        runs execute the bare scheduler loop unchanged.
         """
         if self.profile is not None or self.sampler is not None:
             return self._run_instrumented(until, stop_event)
+        return self._run_fast(until, stop_event)
+
+    def _run_bucket(self, until: Optional[float],
+                    stop_event: Optional[SimEvent]) -> float:
+        buckets = self._buckets
+        times = self._times
+        batch = self._batch
+        pos = self._batch_pos
+        # Entries of the live batch already dispatched (and counted) by
+        # a previous run(); ``pos - base`` is this run's contribution.
+        base = pos
+        dispatched = 0
+        stopped = False
+        try:
+            while True:
+                if pos < len(batch):
+                    if stop_event is not None and stop_event.triggered:
+                        stopped = True
+                        break
+                    if until is not None and self._batch_time > until:
+                        # Leftover batch from a stopped run lies beyond
+                        # the new horizon: mirror the heap's peek path.
+                        self.now = until
+                        return self.now
+                    if stop_event is None:
+                        if pos:
+                            # Resuming mid-batch: index from the cursor.
+                            while pos < len(batch):
+                                fn, args = batch[pos]
+                                pos += 1
+                                fn(*args)
+                        else:
+                            # Hot path: C-level list iteration with the
+                            # cursor maintained by enumerate.  The
+                            # iterator re-checks length each step, so
+                            # same-time events appended during dispatch
+                            # are picked up, exactly like the indexed
+                            # loop; ``pos`` is assigned before the call,
+                            # so exception-time accounting includes the
+                            # failing event, like the indexed loop.
+                            for pos, (fn, args) in enumerate(batch, 1):
+                                fn(*args)
+                    else:
+                        while pos < len(batch):
+                            if stop_event.triggered:
+                                stopped = True
+                                break
+                            fn, args = batch[pos]
+                            pos += 1
+                            fn(*args)
+                        if stopped:
+                            break
+                    continue
+                if stop_event is not None and stop_event.triggered:
+                    stopped = True
+                    break
+                if not times:
+                    break
+                time = times[0]
+                if until is not None and time > until:
+                    self.now = until
+                    return self.now
+                heappop(times)
+                if time < self.now:
+                    raise SimulationError("time went backwards")
+                dispatched += pos - base
+                self.now = time
+                self._batch_time = time
+                batch = self._batch = buckets.pop(time)
+                pos = 0
+                base = 0
+        finally:
+            self.events += dispatched + (pos - base)
+            self._batch_pos = pos
+        if until is not None and not times and pos >= len(batch) \
+                and not stopped:
+            self.now = max(self.now, until)
+        return self.now
+
+    def _run_heap(self, until: Optional[float],
+                  stop_event: Optional[SimEvent]) -> float:
         heap = self._heap
         while heap:
             if stop_event is not None and stop_event.triggered:
@@ -235,7 +563,7 @@ class Simulator:
             if until is not None and time > until:
                 self.now = until
                 return self.now
-            heapq.heappop(heap)
+            heappop(heap)
             if time < self.now:
                 raise SimulationError("time went backwards")
             self.now = time
@@ -250,12 +578,83 @@ class Simulator:
                           stop_event: Optional[SimEvent]) -> float:
         """The :meth:`run` loop with profiler / sampler hooks.
 
-        Identical scheduling semantics to the fast loop; additionally
+        Identical scheduling semantics to the fast loops; additionally
         times each callback for :attr:`profile` and drives
         :attr:`sampler` whenever the clock crosses its next sample
         boundary (before dispatching the crossing event, so samples
         reflect state *at* the boundary).
         """
+        if self.scheduler == "heap":
+            return self._run_instrumented_heap(until, stop_event)
+        buckets = self._buckets
+        times = self._times
+        batch = self._batch
+        pos = self._batch_pos
+        profile = self.profile
+        sampler = self.sampler
+        clock = profile.clock if profile is not None else None
+        stopped = False
+        while True:
+            if pos < len(batch):
+                if stop_event is not None and stop_event.triggered:
+                    stopped = True
+                    break
+                if until is not None and self._batch_time > until:
+                    self._batch_pos = pos
+                    self.now = until
+                    if sampler is not None and self.now >= sampler.next_ns:
+                        sampler.on_advance(self.now)
+                    return self.now
+                while pos < len(batch):
+                    if stop_event is not None and stop_event.triggered:
+                        stopped = True
+                        break
+                    fn, args = batch[pos]
+                    pos += 1
+                    self.events += 1
+                    if profile is not None:
+                        start = clock()
+                        fn(*args)
+                        profile.record(fn, clock() - start)
+                    else:
+                        fn(*args)
+                if stopped:
+                    break
+                continue
+            if stop_event is not None and stop_event.triggered:
+                stopped = True
+                break
+            if not times:
+                break
+            time = times[0]
+            if until is not None and time > until:
+                self._batch_pos = pos
+                self.now = until
+                if sampler is not None and self.now >= sampler.next_ns:
+                    sampler.on_advance(self.now)
+                return self.now
+            heappop(times)
+            if time < self.now:
+                raise SimulationError("time went backwards")
+            self.now = time
+            # Time only advances between batches, so one boundary
+            # check per batch is equivalent to the heap loop's
+            # per-event check (on_advance pushes next_ns past `time`).
+            if sampler is not None and time >= sampler.next_ns:
+                sampler.on_advance(time)
+            self._batch_time = time
+            batch = self._batch = buckets.pop(time)
+            pos = 0
+        self._batch_pos = pos
+        if until is not None and not times and pos >= len(batch) \
+                and not stopped:
+            self.now = max(self.now, until)
+        if sampler is not None and self.now >= sampler.next_ns:
+            sampler.on_advance(self.now)
+        return self.now
+
+    def _run_instrumented_heap(self, until: Optional[float],
+                               stop_event: Optional[SimEvent]) -> float:
         heap = self._heap
         profile = self.profile
         sampler = self.sampler
@@ -269,7 +668,7 @@ class Simulator:
                 if sampler is not None and self.now >= sampler.next_ns:
                     sampler.on_advance(self.now)
                 return self.now
-            heapq.heappop(heap)
+            heappop(heap)
             if time < self.now:
                 raise SimulationError("time went backwards")
             self.now = time

@@ -6,6 +6,15 @@ a service time, and release it; waiters queue FIFO.
 
 A :class:`Store` is an unbounded-or-bounded FIFO of items with blocking
 ``get`` — used for request queues between pipeline stages.
+
+Both primitives are **cancellation-safe**: a process killed while
+parked on :meth:`Resource.acquire` or :meth:`Store.get` (fault
+injection, ``Process.interrupt``, generator teardown) must withdraw
+its pending request with :meth:`Resource.cancel` / :meth:`Store.cancel`
+— otherwise the dead waiter would later be granted a slot that is
+never released (permanent capacity leak) or handed an item that
+silently vanishes from the pipeline.  The :meth:`Resource.use` and
+:meth:`Store.take` helpers do this automatically.
 """
 
 from collections import deque
@@ -26,6 +35,7 @@ class Resource:
         self.name = name
         self._in_use = 0
         self._waiters: Deque[SimEvent] = deque()
+        self._acquire_name = f"{name}.acquire"
         # Utilisation accounting.
         self._busy_time = 0.0
         self._last_change = 0.0
@@ -45,8 +55,12 @@ class Resource:
 
     def acquire(self) -> SimEvent:
         """Return an event that fires once a slot is granted."""
-        event = self.sim.event(f"{self.name}.acquire")
-        self._account()
+        event = SimEvent(self.sim, self._acquire_name)
+        # _account(), inlined: this is the write path's hottest
+        # resource call.
+        now = self.sim.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
         if self._in_use < self.capacity:
             self._in_use += 1
             self.total_acquires += 1
@@ -59,7 +73,9 @@ class Resource:
         """Free one slot, waking the oldest waiter if any."""
         if self._in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
-        self._account()
+        now = self.sim.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
         if self._waiters:
             # Hand the slot directly to the next waiter.
             self.total_acquires += 1
@@ -67,11 +83,40 @@ class Resource:
         else:
             self._in_use -= 1
 
+    def cancel(self, grant: SimEvent) -> None:
+        """Withdraw a pending :meth:`acquire` whose waiter died.
+
+        If the grant never fired the waiter is simply removed from the
+        queue.  If it *did* fire (the slot was handed over in the same
+        instant the waiter was killed, so nobody will release it), the
+        slot is given back.  Call this exactly once, only from the
+        cancellation path of the process that owns ``grant``.
+        """
+        if not grant.triggered:
+            try:
+                self._waiters.remove(grant)
+            except ValueError:
+                pass
+            return
+        if grant._exc is not None:
+            return
+        self.release()
+
     def use(self, service_ns: float):
-        """Process helper: acquire, hold for ``service_ns``, release."""
-        yield self.acquire()
+        """Process helper: acquire, hold for ``service_ns``, release.
+
+        Safe against exceptions thrown into the process at any point:
+        before the grant the pending acquire is cancelled; after it the
+        slot is released exactly once.
+        """
+        grant = self.acquire()
         try:
-            yield self.sim.timeout(service_ns)
+            yield grant
+        except BaseException:
+            self.cancel(grant)
+            raise
+        try:
+            yield self.sim.delay(service_ns)
         finally:
             self.release()
 
@@ -100,6 +145,7 @@ class Store:
         self.drop_oldest = drop_oldest
         self._items: Deque[Any] = deque()
         self._getters: Deque[SimEvent] = deque()
+        self._get_name = f"{name}.get"
         self.dropped = 0
         self.total_puts = 0
 
@@ -125,12 +171,44 @@ class Store:
 
     def get(self) -> SimEvent:
         """Return an event yielding the next item (FIFO)."""
-        event = self.sim.event(f"{self.name}.get")
+        event = SimEvent(self.sim, self._get_name)
         if self._items:
             event.succeed(self._items.popleft())
         else:
             self._getters.append(event)
         return event
+
+    def cancel(self, event: SimEvent) -> None:
+        """Withdraw a pending :meth:`get` whose waiter died.
+
+        An untriggered getter is removed from the queue so a later
+        ``put`` cannot hand its item to a dead event.  A getter that
+        already received an item (killed in the same instant) hands
+        the item to the next live getter, or puts it back at the front
+        of the queue — nothing vanishes.
+        """
+        if not event.triggered:
+            try:
+                self._getters.remove(event)
+            except ValueError:
+                pass
+            return
+        if event._exc is not None:
+            return
+        if self._getters:
+            self._getters.popleft().succeed(event.value)
+        else:
+            self._items.appendleft(event.value)
+
+    def take(self):
+        """Process helper: cancellation-safe blocking get."""
+        event = self.get()
+        try:
+            item = yield event
+        except BaseException:
+            self.cancel(event)
+            raise
+        return item
 
     def peek_all(self):
         """Snapshot of buffered items (for coalescing logic)."""

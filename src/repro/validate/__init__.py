@@ -7,7 +7,10 @@ from repro.validate.invariants import InvariantChecker, InvariantViolation
 from repro.validate.oracles import (
     IrbLockstep,
     OracleMismatch,
+    build_scheduler_program,
+    check_scheduler_equivalence,
     diff_images,
+    run_scheduler_program,
     run_write_program,
 )
 
@@ -16,6 +19,9 @@ __all__ = [
     "InvariantViolation",
     "IrbLockstep",
     "OracleMismatch",
+    "build_scheduler_program",
+    "check_scheduler_equivalence",
     "diff_images",
+    "run_scheduler_program",
     "run_write_program",
 ]

@@ -98,9 +98,31 @@ def test_compare_flags_regression_beyond_threshold():
     ok = tiny_report(events_per_sec=900.0)        # -10%: fine
     bad = tiny_report(events_per_sec=500.0)       # -50%: regression
     assert compare(baseline, ok, threshold=0.25) == []
+    # -50% trips both tiers: the workload gate (25% + 15% noise
+    # allowance) and the aggregate-total gate (25%).
     regressions = compare(baseline, bad, threshold=0.25)
+    assert len(regressions) == 2
+    assert any("hash_table" in r for r in regressions)
+    assert any(r.startswith("total:") for r in regressions)
+
+
+def test_compare_tolerates_single_workload_noise():
+    """A lone workload swinging -30% (within shared-host noise) must
+    not trip the gate while the aggregate total holds up."""
+    baseline = tiny_report(events_per_sec=1000.0)
+    noisy = tiny_report(events_per_sec=700.0)     # workload: -30%
+    noisy["totals"]["events_per_sec"] = 900.0     # total: -10%
+    assert compare(baseline, noisy, threshold=0.25) == []
+
+
+def test_compare_total_gate_catches_broad_slowdown():
+    """An across-the-board -30% passes every per-workload check (bar
+    is 40%) but must still trip on the aggregate total."""
+    baseline = tiny_report(events_per_sec=1000.0)
+    slow = tiny_report(events_per_sec=700.0)      # workload and total -30%
+    regressions = compare(baseline, slow, threshold=0.25)
     assert len(regressions) == 1
-    assert "hash_table" in regressions[0]
+    assert regressions[0].startswith("total:")
 
 
 def test_compare_normalises_by_calibration():

@@ -11,13 +11,33 @@ def test_timeout_advances_clock():
 
     def proc():
         yield sim.timeout(10)
-        yield sim.timeout(5.5)
+        yield sim.timeout(5)
         return sim.now
 
     p = sim.process(proc())
     sim.run()
-    assert sim.now == pytest.approx(15.5)
-    assert p.value == pytest.approx(15.5)
+    assert sim.now == 15
+    assert p.value == 15
+
+
+def test_float_delays_quantize_to_integer_ns():
+    """The clock is integer-ns: float delays round half-up exactly
+    once, at the scheduling boundary, so repeated fractional delays
+    can never accumulate float drift."""
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(10)
+        yield sim.timeout(5.5)   # -> 6
+        yield sim.timeout(0.25)  # -> 0
+        yield sim.timeout(0.5)   # -> 1
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert sim.now == 17
+    assert isinstance(sim.now, int)
+    assert p.value == 17
 
 
 def test_zero_timeout_runs_same_time():
