@@ -33,6 +33,14 @@ Commands
     and mode, recover + scrub each, run the fault-class scenarios,
     write ``results/CRASHTEST_<date>.json``, and fail (exit 1) on any
     invariant violation (digest mismatch, commit gap, silent fault).
+``soak [--quick] [--cycles N] [--workloads W,W] [--modes M,M]``
+    The multi-cycle soak campaign: run -> crash -> recover ->
+    invariant-check -> resume on the recovered image, N cycles per
+    workload and mode, with per-cycle fault plans and media wear
+    accumulating across cycles.  Writes ``results/SOAK_<date>.json``
+    (byte-identical at any ``--jobs`` and either scheduler) and
+    fails (exit 1) on any violation: silent fault, broken recovery
+    idempotence, digest mismatch, or lost committed work.
 ``fuzz [--cases N] [--seed S] [--quick] [--replay PATH]``
     Seeded stateful fuzzing (:mod:`repro.validate.fuzz`): random op
     sequences over the Janus API, IRB lockstep traces, and workload
@@ -329,6 +337,32 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="do not write the report JSON")
     _add_jobs_arg(crashtest)
     _add_log_arg(crashtest)
+
+    soak = sub.add_parser(
+        "soak", help="multi-cycle crash/recover/resume soak campaign")
+    soak.add_argument("--quick", action="store_true",
+                      help="CI-sized: 2 workloads, 4 cycles")
+    soak.add_argument("--cycles", type=int, default=None,
+                      help="lifecycle cycles per workload x mode "
+                           "(default 20, or 4 with --quick)")
+    soak.add_argument("--workloads", default=None, metavar="W,W",
+                      help="comma-separated subset (default all)")
+    soak.add_argument("--modes", default=None, metavar="M,M",
+                      help="comma-separated subset of "
+                           "serialized,janus")
+    soak.add_argument("--seed", type=int, default=7)
+    soak.add_argument("--no-oracle", action="store_true",
+                      help="skip the per-crash-point idempotence "
+                           "oracle (faster)")
+    soak.add_argument("--dir", default=None, metavar="DIR",
+                      help="report directory (default results)")
+    soak.add_argument("--out", default=None, metavar="PATH",
+                      help="report path (default "
+                           "DIR/SOAK_<date>.json)")
+    soak.add_argument("--no-write", action="store_true",
+                      help="do not write the report JSON")
+    _add_jobs_arg(soak)
+    _add_log_arg(soak)
 
     fuzz = sub.add_parser(
         "fuzz", help="seeded stateful fuzz under checkers + oracles")
@@ -781,6 +815,40 @@ def cmd_crashtest(args) -> int:
     return 1 if report["violations"] else 0
 
 
+def cmd_soak(args) -> int:
+    from repro.harness import soak as sk
+
+    config = sk.quick_config(seed=args.seed) if args.quick \
+        else sk.SoakConfig(seed=args.seed)
+    if args.cycles is not None:
+        config.cycles = args.cycles
+    if args.workloads:
+        config.workloads = tuple(w.strip()
+                                 for w in args.workloads.split(",")
+                                 if w.strip())
+        unknown = set(config.workloads) - set(WORKLOADS)
+        if unknown:
+            print(f"unknown workloads: {sorted(unknown)}",
+                  file=sys.stderr)
+            return 2
+    if args.modes:
+        config.modes = tuple(m.strip() for m in args.modes.split(",")
+                             if m.strip())
+    if args.no_oracle:
+        config.idempotence_oracle = False
+
+    report = sk.run_soak(config, jobs=args.jobs,
+                         progress=_progress_for(args, "soak"))
+    print(sk.render_summary(report))
+    if not args.no_write:
+        directory = args.dir if args.dir is not None else sk.DEFAULT_DIR
+        out = args.out if args.out is not None \
+            else sk.soak_path(directory)
+        sk.write_report(report, out)
+        print(f"report -> {out}")
+    return 1 if report["violations"] else 0
+
+
 def cmd_fuzz(args) -> int:
     from repro.validate import fuzz as fz
 
@@ -831,6 +899,7 @@ COMMANDS = {
     "bench": cmd_bench,
     "scrub": cmd_scrub,
     "crashtest": cmd_crashtest,
+    "soak": cmd_soak,
     "fuzz": cmd_fuzz,
 }
 

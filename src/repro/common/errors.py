@@ -51,3 +51,20 @@ class UncorrectableMediaError(MediaError):
 
 class InstrumentationError(ReproError):
     """The compiler pass was given malformed transaction IR."""
+
+
+class RecoveryCrash(Exception):
+    """A seeded crash point fired inside recovery or scrub.
+
+    Deliberately NOT a :class:`ReproError`: recovery code treats
+    ``ReproError`` subclasses as *rejections* of damaged state, and a
+    simulated mid-recovery power failure must never be swallowed by
+    those handlers — it has to unwind all the way to the harness,
+    which then starts a second recovery over the interrupted image
+    (the idempotence contract in ``docs/robustness.md``).
+    """
+
+    def __init__(self, message: str, step: int = 0, stage: str = ""):
+        super().__init__(message)
+        self.step = step
+        self.stage = stage

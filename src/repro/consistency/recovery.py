@@ -15,9 +15,26 @@ persist point — and rebuilds the program-visible plaintext:
 The result is exactly what a real system's recovery code would hand
 back to the application, which is what the crash-consistency tests
 assert against a reference model of committed transactions.
+
+**Recovery is itself crashable and idempotent.**  Every scan step,
+restore/replay write, and media fetch is an instrumented *crash
+point*: with a :class:`~repro.faults.FaultInjector` supplied, an
+armed ``recovery_crash`` spec raises
+:class:`~repro.common.errors.RecoveryCrash` there.  The contract that
+makes a second recovery converge (asserted by
+``repro.validate.check_recovery_idempotent``): all program-visible
+writes are staged in a volatile overlay published only at the end;
+the only persistent mutations before publish are (a) ECC heal-backs
+into the snapshot image and (b) quarantine records — both of which a
+re-run reproduces.  The media read path carries the same
+:class:`~repro.faults.RetryPolicy` as
+:class:`~repro.faults.DegradedModeManager`: transient damage clears
+under bounded retry with deterministic exponential backoff, and
+damage that survives the budget escalates to poison + torn-prefix
+continuation (on log lines) instead of a hard ``RecoveryError``.
 """
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.bmo.ecc import check as ecc_check
 from repro.common.errors import (
@@ -33,16 +50,28 @@ from repro.consistency.undo_log import (
 )
 from repro.crypto.counter_mode import CounterModeEngine
 from repro.crypto.primitives import mac_of
+from repro.faults.degraded import RetryPolicy
+from repro.obs import log as runlog
 
 
 class RecoveredState:
     """Plaintext view of post-crash NVM, with rollback applied."""
 
     def __init__(self, nvm_lines: Dict[int, bytes], metadata: dict,
-                 verify_macs: bool = False):
+                 verify_macs: bool = False, injector=None,
+                 policy: Optional[RetryPolicy] = None,
+                 quarantine: Optional[Set[int]] = None):
         self._nvm = nvm_lines
         self._metadata = metadata
         self._verify = verify_macs
+        self._injector = injector
+        self._policy = (policy if policy is not None
+                        else RetryPolicy()).validate()
+        #: Shared poison set: lines quarantined here (or by an earlier
+        #: scrub/recovery when the caller passes its set) raise
+        #: immediately instead of handing out garbage.
+        self._quarantine: Set[int] = quarantine \
+            if quarantine is not None else set()
         self._engine = CounterModeEngine()
         self._overlay: Dict[int, bytes] = {}
         enc_meta = metadata.get("encryption", {})
@@ -68,6 +97,37 @@ class RecoveredState:
         self.rolled_back: List[int] = []
         #: Transaction ids whose commit record was found by the scan.
         self.committed_txns: List[int] = []
+        #: Lines quarantined *by this recovery* (escalations).
+        self.poisoned_lines: List[int] = []
+        #: Media reads retried / sim-ns spent backing off / lines
+        #: escalated to poison — the recovery-path mirror of the
+        #: ``faults.*`` degraded-mode counters.
+        self.read_retries = 0
+        self.backoff_ns = 0
+        self.escalations = 0
+        #: Committed-transaction backup records skipped over a CRC-
+        #: failed payload (torn-prefix continuation).
+        self.torn_records_skipped = 0
+        #: Instrumented crash points visited so far (the idempotence
+        #: oracle replays a crash at each ``1..steps``).
+        self.steps = 0
+
+    def _step(self, stage: str, **detail) -> None:
+        """One instrumented crash point.  With an injector supplied an
+        armed ``recovery_crash`` spec raises :class:`RecoveryCrash`
+        here; without one this is just the deterministic counter the
+        idempotence oracle enumerates."""
+        self.steps += 1
+        if self._injector is not None:
+            self._injector.on_recovery_step(stage, **detail)
+
+    def written_lines(self) -> Set[int]:
+        """Line addresses the committed metadata says were written."""
+        return set(self._counters) | set(self._remap)
+
+    def overlay_snapshot(self) -> Dict[int, bytes]:
+        """The materialised program-visible lines (digest/test use)."""
+        return dict(self._overlay)
 
     # -- line materialisation ------------------------------------------------
     def read_line(self, line_addr: int) -> bytes:
@@ -80,20 +140,65 @@ class RecoveredState:
         return line
 
     def _fetch_cipher(self, store_addr: int) -> bytes:
-        """Read stored bytes, applying ECC when a code covers them.
+        """Read stored bytes through the resilient media policy.
 
-        Correctable media damage is fixed (and counted); detected-
-        uncorrectable damage raises — an explicit rejection, never a
-        garbage line silently decrypted.
+        ECC-covered lines get the full :class:`RetryPolicy` treatment:
+        transient damage (an injector's ``media_read_transient``)
+        clears under bounded retry with deterministic exponential
+        backoff; correctable damage is fixed and *healed back* into
+        the snapshot image; damage that survives the budget escalates
+        to quarantine + an explicit raise — never a garbage line
+        silently decrypted.  Already-quarantined lines raise
+        immediately.
         """
-        cipher = self._nvm.get(store_addr, bytes(CACHE_LINE_BYTES))
+        if store_addr in self._quarantine:
+            raise UncorrectableMediaError(
+                f"line {store_addr:#x} is quarantined",
+                line_addr=store_addr)
+        self._step("fetch", addr=store_addr)
+        stored = self._nvm.get(store_addr, bytes(CACHE_LINE_BYTES))
         code = self._ecc_codes.get(store_addr)
         if code is None:
-            return cipher
-        fixed = ecc_check(cipher, code, line_addr=store_addr)
-        if fixed != cipher:
-            self.media_corrected.append(store_addr)
-        return fixed
+            return stored
+        last_error = None
+        for attempt in range(self._policy.max_retries + 1):
+            if attempt:
+                delay = self._policy.delay_for(attempt)
+                self.read_retries += 1
+                self.backoff_ns += delay
+                runlog.event("consistency.recovery", "read-retry",
+                             level="warn", addr=store_addr,
+                             attempt=attempt, backoff_ns=delay)
+            raw = stored
+            if self._injector is not None:
+                raw = self._injector.filter_read(store_addr, stored)
+            try:
+                fixed = ecc_check(raw, code, line_addr=store_addr)
+            except UncorrectableMediaError as error:
+                last_error = error
+                if self._injector is None:
+                    # Snapshot bytes are static: without an injector a
+                    # retry re-reads identical damage — escalate now.
+                    break
+                continue
+            if fixed != raw:
+                self.media_corrected.append(store_addr)
+                # Heal the snapshot image (one of the two persistent
+                # mutations the idempotence contract allows before
+                # publish — a re-run reproduces it exactly).
+                self._step("heal", addr=store_addr)
+                self._nvm[store_addr] = fixed
+            return fixed
+        self.escalations += 1
+        self._step("poison", addr=store_addr)
+        self._quarantine.add(store_addr)
+        self.poisoned_lines.append(store_addr)
+        runlog.event("consistency.recovery", "poison-line",
+                     level="error", addr=store_addr)
+        raise UncorrectableMediaError(
+            f"line {store_addr:#x} uncorrectable after "
+            f"{self._policy.max_retries + 1} attempts",
+            line_addr=store_addr) from last_error
 
     def _recover_line(self, line_addr: int) -> bytes:
         fingerprint = self._remap.get(line_addr)
@@ -221,6 +326,7 @@ class RecoveredState:
         for record in parse_redo_log(self._scan_read_line, base,
                                      capacity):
             kind, txn_id, addr, size, payload_addr = record
+            self._step("scan-redo", txn=txn_id, record=kind)
             if kind == "commit":
                 committed.append(txn_id)
                 scan_stop = payload_addr + CACHE_LINE_BYTES
@@ -237,6 +343,7 @@ class RecoveredState:
         committed_set = set(committed)
         for txn_id, addr, size, payload_addr in updates:
             if txn_id in committed_set:
+                self._step("redo-replay", txn=txn_id, addr=addr)
                 self._write(addr, self.read(payload_addr, size))
         self.replayed = getattr(self, "replayed", [])
         self.replayed.extend(t for t in committed)
@@ -244,15 +351,35 @@ class RecoveredState:
 
     # -- undo rollback --------------------------------------------------------
     def rollback_undo_log(self, base: int, capacity: int) -> List[int]:
-        """Scan one log region; undo uncommitted transactions."""
+        """Scan one log region; undo uncommitted transactions.
+
+        Torn-prefix continuation: a backup record whose header is
+        intact but whose payload CRC fails does not stop the scan —
+        the header fixes the next record boundary, so the scan keeps
+        going and later intact records still replay/roll back.  The
+        damaged record itself is never restored from: if its
+        transaction committed, the old-value image is provably never
+        needed (the commit fenced on the in-place updates); if it did
+        not commit, the incomplete backup means its fence never
+        retired, so the in-place updates never started.  Either way
+        the damaged payload lines escalate to poison.  Only a commit
+        record beyond a torn *header* still hard-fails — there the
+        record boundary is unknown and continuation is impossible.
+        """
         backups: List[Tuple[int, int, int, int]] = []
+        torn: List[Tuple[int, int, int, int]] = []
         committed = set()
         scan_stop = base
         for record in parse_log(self._scan_read_line, base, capacity):
             kind, txn_id = record[0], record[1]
+            self._step("scan-undo", txn=txn_id, record=kind)
             if kind == "commit":
                 committed.add(txn_id)
                 scan_stop = record[4] + CACHE_LINE_BYTES
+            elif kind == "torn_backup":
+                _k, txn_id, addr, size, payload_addr = record
+                torn.append((txn_id, addr, size, payload_addr))
+                scan_stop = payload_addr + align_up(size)
             else:
                 _k, txn_id, addr, size, payload_addr = record
                 backups.append((txn_id, addr, size, payload_addr))
@@ -264,6 +391,18 @@ class RecoveredState:
                 f"commit record at {tail:#x} beyond a damaged log "
                 f"line — the log was damaged mid-stream, refusing to "
                 f"silently roll back a committed transaction")
+        for txn_id, addr, size, payload_addr in torn:
+            self._step("torn-skip", txn=txn_id, addr=payload_addr)
+            for line in range(payload_addr,
+                              payload_addr + align_up(size),
+                              CACHE_LINE_BYTES):
+                self._quarantine.add(line)
+                self.torn_log_lines.append(line)
+            self.torn_records_skipped += 1
+            runlog.event("consistency.recovery", "torn-backup-skipped",
+                         level="warn", txn=txn_id, addr=addr,
+                         payload_addr=payload_addr,
+                         committed=txn_id in committed)
         self.committed_txns.extend(sorted(committed))
         undone = []
         # Newest record first: restores nest correctly if a location
@@ -271,6 +410,7 @@ class RecoveredState:
         for txn_id, addr, size, payload_addr in reversed(backups):
             if txn_id in committed:
                 continue
+            self._step("undo-restore", txn=txn_id, addr=addr)
             old = self.read(payload_addr, size)
             self._write(addr, old)
             if txn_id not in undone:
@@ -282,16 +422,27 @@ class RecoveredState:
 def recover(snapshot: dict,
             undo_log_regions: Iterable[Tuple[int, int]] = (),
             redo_log_regions: Iterable[Tuple[int, int]] = (),
-            verify_macs: bool = False) -> RecoveredState:
+            verify_macs: bool = False, injector=None,
+            policy: Optional[RetryPolicy] = None,
+            quarantine: Optional[Set[int]] = None) -> RecoveredState:
     """Build a :class:`RecoveredState` from a crash snapshot.
 
     Redo regions are replayed first (reinstating committed updates),
     then undo regions are rolled back (removing uncommitted ones).
+    With ``injector``, every instrumented step may raise
+    :class:`~repro.common.errors.RecoveryCrash`; ``quarantine`` is a
+    shared poison set carried across recovery attempts and scrubs.
     """
     state = RecoveredState(snapshot["nvm_lines"], snapshot["metadata"],
-                           verify_macs=verify_macs)
+                           verify_macs=verify_macs, injector=injector,
+                           policy=policy, quarantine=quarantine)
     for base, capacity in redo_log_regions:
         state.replay_redo_log(base, capacity)
     for base, capacity in undo_log_regions:
         state.rollback_undo_log(base, capacity)
+    state._step("publish")
+    # The crash window closes at publish: reads after this point are
+    # the *consumer* using the recovered image, not recovery steps —
+    # an armed crash spec whose step never arrived simply never fires.
+    state._injector = None
     return state

@@ -65,22 +65,34 @@ class ScrubReport:
         return "\n".join(lines)
 
 
-def scrub(system, degraded=None) -> ScrubReport:
+def scrub(system, degraded=None, injector=None) -> ScrubReport:
     """Verify the persistent image of a quiescent system.
 
     With a :class:`repro.faults.DegradedModeManager` supplied, line
     reads go through it: correctable media damage is healed in place
     (and reported), uncorrectable lines are poisoned and reported —
     the scrubber never MAC-checks bytes ECC already rejected.
+
+    The scrub is itself crashable: every line fetch (plus the
+    degraded manager's heal and poison actions) is an instrumented
+    step where an armed ``scrub_crash`` spec raises
+    :class:`~repro.common.errors.RecoveryCrash`.  Re-running the
+    scrub after such a crash converges — heals and quarantine records
+    are idempotent, and a shared quarantine set survives the crash.
     """
     report = ScrubReport()
     pipeline = system.pipeline
     encryption = pipeline.by_name.get("encryption")
     dedup = pipeline.by_name.get("dedup")
     integrity = pipeline.by_name.get("integrity")
+    if injector is None:
+        injector = degraded.injector if degraded is not None \
+            else getattr(system, "injector", None)
 
     def fetch(addr):
         """Line read for the MAC walk; None if taken out of service."""
+        if injector is not None:
+            injector.on_scrub_step("fetch", addr=addr)
         if degraded is None:
             return system.nvm.read_line(addr)
         try:

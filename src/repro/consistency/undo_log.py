@@ -212,10 +212,16 @@ def parse_log(read_line, base: int, capacity: int):
     ``("backup", txn_id, addr, size, record_addr)`` and
     ``("commit", txn_id)`` tuples in log order.
 
-    Robustness contract: a record whose header or payload CRC does
-    not verify is *torn* — the crash interrupted its persist — and
-    the scan stops cleanly there (nothing after a torn tail can be
-    trusted to be ordered).  A record whose CRC verifies but whose
+    Robustness contract: a record whose *header* CRC does not verify
+    is *torn* — the crash interrupted its persist — and the scan
+    stops cleanly there (without the header the next record boundary
+    is unknown, so nothing after it can be trusted).  A record whose
+    header verifies but whose *payload* CRC fails is a **torn
+    payload**: the boundary is known, so the scan yields
+    ``("torn_backup", txn_id, addr, size, payload_addr)`` and
+    *continues* at the next record — the caller decides whether the
+    damaged old-value image is ever needed (it is not when the
+    transaction committed).  A record whose CRC verifies but whose
     fields are insane (size <= 0 or beyond the region) is *corrupt*
     and raises :class:`RecoveryError`.
     """
@@ -235,9 +241,13 @@ def parse_log(read_line, base: int, capacity: int):
             payload = _payload_bytes(
                 read_line, offset + CACHE_LINE_BYTES, size)
             if zlib.crc32(payload) != payload_crc:
-                break  # torn payload: header landed, old data did not
-            yield ("backup", txn_id, addr, size,
-                   offset + CACHE_LINE_BYTES)
+                # Torn payload: the header landed (boundary known) but
+                # the old data did not — report it and keep scanning.
+                yield ("torn_backup", txn_id, addr, size,
+                       offset + CACHE_LINE_BYTES)
+            else:
+                yield ("backup", txn_id, addr, size,
+                       offset + CACHE_LINE_BYTES)
             offset += CACHE_LINE_BYTES + align_up(size)
         elif magic == _COMMIT_MAGIC:
             yield ("commit", txn_id, 0, 0, offset)

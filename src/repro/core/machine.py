@@ -427,8 +427,23 @@ class NvmSystem:
             injector.attach(self)
 
     def _copy_nvm_line(self, src: int, dst: int) -> None:
-        """Dedup relocation: move ciphertext between device lines."""
+        """Dedup relocation: move ciphertext between device lines.
+
+        The stored bytes may carry media damage (stuck cells) that the
+        source line's ECC code would correct on read — the code must
+        travel with the ciphertext, because the raw copy bypasses the
+        write path and no fresh code is minted for the shadow line.
+        """
         self.nvm.write_line(dst, self.nvm.read_line(src))
+        ecc = self.pipeline.by_name.get("ecc")
+        if ecc is not None:
+            code = ecc.codes.get(src)
+            if code is not None:
+                ecc.codes[dst] = code
+            else:
+                # Shadow lines are pooled; drop any stale code left by
+                # a previous occupant.
+                ecc.codes.pop(dst, None)
 
     # -- running -------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> float:

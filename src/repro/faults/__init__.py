@@ -14,18 +14,31 @@ evidence, not flaky noise.
   machine calls from the device, write queue, Janus engine, and crash
   path;
 * :class:`~repro.faults.degraded.DegradedModeManager` is the
-  graceful-degradation policy: bounded retry + re-fetch for
-  correctable faults, line poisoning for uncorrectable ones.
+  graceful-degradation policy: bounded retry with deterministic
+  sim-time exponential backoff (:class:`~repro.faults.degraded.
+  RetryPolicy`) for correctable faults, line poisoning for
+  uncorrectable ones;
+* recovery and scrub are themselves crashable: ``recovery_crash`` /
+  ``scrub_crash`` specs fire at instrumented steps and raise
+  :class:`~repro.common.errors.RecoveryCrash` (see
+  ``docs/robustness.md`` for the idempotence contract).
 """
 
-from repro.faults.degraded import DegradedModeManager
+from repro.faults.degraded import DegradedModeManager, RetryPolicy
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+)
 
 __all__ = [
     "FAULT_KINDS",
     "FaultPlan",
+    "FaultPlanError",
     "FaultSpec",
     "FaultInjector",
     "DegradedModeManager",
+    "RetryPolicy",
 ]

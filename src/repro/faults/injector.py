@@ -16,7 +16,18 @@ One :class:`FaultInjector` attaches to one
   perturb a pre-executed result so the entry is stale;
 * ``on_power_failure()`` / ``adr_fate(entry)`` — at ``crash()``:
   metadata-store corruption, and per-entry drop/tear decisions for
-  the ADR flush.
+  the ADR flush;
+* ``on_recovery_step(stage)`` / ``on_scrub_step(stage)`` — called by
+  :mod:`repro.consistency.recovery` and
+  :mod:`repro.consistency.scrub` at every instrumented step: a
+  ``recovery_crash`` / ``scrub_crash`` spec raises
+  :class:`~repro.common.errors.RecoveryCrash` there, modelling a
+  second power failure mid-recovery (the idempotence oracle and the
+  soak harness drive these).
+
+An injector used on the recovery path is *detached* — it never saw
+``attach()``, so it has no system, metrics scope, or tracer; every
+emission site guards for that.
 
 Every injection is counted in the ``faults`` metrics scope and, when
 tracing is enabled, emitted as an instant span — the observability
@@ -26,6 +37,7 @@ prove it was *handled*.
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.common.errors import RecoveryCrash
 from repro.common.rng import DeterministicRng
 from repro.common.units import CACHE_LINE_BYTES
 from repro.faults.plan import FaultPlan, FaultSpec
@@ -89,14 +101,30 @@ class FaultInjector:
     def _fire(self, spec: FaultSpec, **detail) -> None:
         record = {"kind": spec.kind, **detail}
         self.injected.append(record)
-        self._c_injected.add()
-        self.stats.counter(f"injected_{spec.kind}").add()
+        sim_ns = self.system.sim.now if self.system is not None \
+            else None
+        if self.stats is not None:
+            self._c_injected.add()
+            self.stats.counter(f"injected_{spec.kind}").add()
         if self.tracer is not None and self.tracer.enabled:
             self.tracer.instant(
                 f"fault:{spec.kind}", "faults", _TRACK,
-                ts_ns=self.system.sim.now, args=record)
-        runlog.event("faults", "injected", sim_ns=self.system.sim.now,
+                ts_ns=sim_ns, args=record)
+        runlog.event("faults", "injected", sim_ns=sim_ns,
                      level="warn", **record)
+
+    def _eligible(self, spec: FaultSpec,
+                  addr: Optional[int] = None) -> bool:
+        """Apply the spec's ``line_range`` window and seeded
+        ``probability`` gate (the event count is unaffected)."""
+        if spec.line_range is not None and addr is not None:
+            lo, hi = spec.line_range
+            if not lo <= addr < hi:
+                return False
+        if spec.probability < 1.0 \
+                and self._rng.random() >= spec.probability:
+            return False
+        return True
 
     def injected_of(self, kind: str) -> List[Dict]:
         return [r for r in self.injected if r["kind"] == kind]
@@ -108,6 +136,8 @@ class FaultInjector:
         nvm = self.system.nvm
         for spec in self.plan.by_kind("media_write_flip"):
             if spec.after_n != count:
+                continue
+            if not self._eligible(spec, addr=entry.addr):
                 continue
             if spec.sticky:
                 cells = self._stuck.setdefault(entry.addr, [])
@@ -133,7 +163,8 @@ class FaultInjector:
         """Timing-path read: counts events and arms transient faults."""
         count = self._bump("device_read")
         for spec in self.plan.by_kind("media_read_transient"):
-            if spec.after_n == count:
+            if spec.after_n == count \
+                    and self._eligible(spec, addr=addr):
                 self._transient_armed[addr] = spec.bits
 
     def filter_read(self, addr: int, data: bytes) -> bytes:
@@ -152,7 +183,8 @@ class FaultInjector:
             fired = specs[0] if specs else None
         else:
             for spec in self.plan.by_kind("media_read_transient"):
-                if spec.after_n == count:
+                if spec.after_n == count \
+                        and self._eligible(spec, addr=addr):
                     fired, bits = spec, spec.bits
                     break
         if fired is None or bits is None:
@@ -237,3 +269,27 @@ class FaultInjector:
             encryption.engine.restore_counters(
                 {**counters, addr: counters[addr] + 1})
             self._fire(spec, addr=addr)
+
+    # -- crash points inside recovery / scrub -------------------------------
+    def _crash_step(self, site: str, kind: str, stage: str,
+                    **detail) -> None:
+        count = self._bump(site)
+        for spec in self.plan.by_kind(kind):
+            if spec.after_n != count or not self._eligible(spec):
+                continue
+            self._fire(spec, step=count, stage=stage, **detail)
+            raise RecoveryCrash(
+                f"seeded {kind} at {site} {count} ({stage})",
+                step=count, stage=stage)
+
+    def on_recovery_step(self, stage: str, **detail) -> None:
+        """One instrumented recovery step (log scan, restore write,
+        media fetch).  Raises :class:`RecoveryCrash` when an armed
+        ``recovery_crash`` spec's ``after_n`` matches — modelling a
+        second power failure mid-recovery."""
+        self._crash_step("recovery_step", "recovery_crash", stage,
+                         **detail)
+
+    def on_scrub_step(self, stage: str, **detail) -> None:
+        """One instrumented scrub step (fetch / heal / poison)."""
+        self._crash_step("scrub_step", "scrub_crash", stage, **detail)

@@ -29,11 +29,25 @@ Kinds and their hook sites:
                        dropped (residual energy ran out).
 ``wq_tear``            Power failure: the Nth ADR-flushed entry lands
                        half-new / half-old (torn line).
+``recovery_crash``     Nth instrumented recovery step: power fails
+                       *again*, mid-rollback/mid-replay — the hook
+                       raises :class:`~repro.common.errors.RecoveryCrash`.
+``scrub_crash``        Nth instrumented scrub step (fetch / heal /
+                       poison): power fails mid-scrub.
 =====================  ====================================================
+
+Every spec also carries an optional ``probability`` (an eligible
+event fires only with this seeded probability) and ``line_range``
+(a ``[lo, hi)`` address window restricting which lines the fault can
+touch).  Plans are validated **at construction**: a negative
+probability, an empty/unknown kind name, or two same-kind specs with
+overlapping line ranges raise a structured
+:class:`FaultPlanError` listing every problem at once, instead of
+surfacing as a confusing mid-run failure.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.rng import DeterministicRng
@@ -47,7 +61,29 @@ FAULT_KINDS = (
     "irb_stale",
     "wq_drop",
     "wq_tear",
+    "recovery_crash",
+    "scrub_crash",
 )
+
+
+class FaultPlanError(ConfigError):
+    """A fault plan failed construction-time validation.
+
+    ``problems`` holds one dict per defect (``{"spec": index-or-None,
+    "field": name, "detail": message}``) so harnesses and tests can
+    assert on the exact failures instead of string-matching.
+    """
+
+    def __init__(self, problems: List[Dict]):
+        self.problems = list(problems)
+        detail = "; ".join(
+            f"spec[{p['spec']}].{p['field']}: {p['detail']}"
+            if p.get("spec") is not None
+            else f"{p['field']}: {p['detail']}"
+            for p in self.problems)
+        super().__init__(
+            f"invalid fault plan ({len(self.problems)} problem"
+            f"{'s' if len(self.problems) != 1 else ''}): {detail}")
 
 
 @dataclass(frozen=True)
@@ -66,26 +102,64 @@ class FaultSpec:
     sticky: bool = False
     #: For sticky faults: the value the cell is stuck at (0 or 1).
     stuck_value: int = 0
+    #: Probability that an otherwise-eligible event actually fires
+    #: (drawn from the injector's seeded rng; 1.0 = always).
+    probability: float = 1.0
+    #: Optional ``(lo, hi)`` address window: the fault only touches
+    #: lines with ``lo <= addr < hi`` (event counting is unaffected).
+    line_range: Optional[Tuple[int, int]] = None
+
+    def problems(self) -> List[Dict]:
+        """Every validation defect of this spec (empty when valid)."""
+        out: List[Dict] = []
+        if not self.kind:
+            out.append({"field": "kind",
+                        "detail": "kind name must not be empty"})
+        elif self.kind not in FAULT_KINDS:
+            out.append({"field": "kind",
+                        "detail": f"unknown fault kind {self.kind!r}"})
+        if self.after_n < 1:
+            out.append({"field": "after_n",
+                        "detail": "after_n is 1-based and must be >= 1"})
+        if any(not 0 <= b < 512 for b in self.bits):
+            out.append({"field": "bits",
+                        "detail": "fault bits must be within a "
+                                  "64-byte line"})
+        if self.stuck_value not in (0, 1):
+            out.append({"field": "stuck_value",
+                        "detail": "stuck_value must be 0 or 1"})
+        if not 0.0 <= self.probability <= 1.0:
+            out.append({"field": "probability",
+                        "detail": f"probability {self.probability!r} "
+                                  f"outside [0, 1]"})
+        if self.line_range is not None:
+            lo, hi = self.line_range
+            if lo < 0 or hi <= lo:
+                out.append({"field": "line_range",
+                            "detail": f"line_range ({lo}, {hi}) must "
+                                      f"satisfy 0 <= lo < hi"})
+        return out
 
     def validate(self) -> "FaultSpec":
-        if self.kind not in FAULT_KINDS:
-            raise ConfigError(f"unknown fault kind {self.kind!r}")
-        if self.after_n < 1:
-            raise ConfigError("after_n is 1-based and must be >= 1")
-        if any(not 0 <= b < 512 for b in self.bits):
-            raise ConfigError("fault bits must be within a 64-byte line")
-        if self.stuck_value not in (0, 1):
-            raise ConfigError("stuck_value must be 0 or 1")
+        problems = self.problems()
+        if problems:
+            raise FaultPlanError([{**p, "spec": None}
+                                  for p in problems])
         return self
 
     def to_dict(self) -> Dict:
-        return {
+        out = {
             "kind": self.kind,
             "after_n": self.after_n,
             "bits": list(self.bits),
             "sticky": self.sticky,
             "stuck_value": self.stuck_value,
         }
+        if self.probability != 1.0:
+            out["probability"] = self.probability
+        if self.line_range is not None:
+            out["line_range"] = list(self.line_range)
+        return out
 
 
 @dataclass
@@ -96,8 +170,30 @@ class FaultPlan:
     specs: List[FaultSpec] = field(default_factory=list)
 
     def __post_init__(self):
-        for spec in self.specs:
-            spec.validate()
+        problems: List[Dict] = []
+        for index, spec in enumerate(self.specs):
+            problems.extend({**p, "spec": index}
+                            for p in spec.problems())
+        # Two same-kind specs with overlapping line ranges would race
+        # for the same lines nondeterministically-looking (spec order
+        # decides) — reject the ambiguity outright.
+        ranged: Dict[str, List[Tuple[int, Tuple[int, int]]]] = {}
+        for index, spec in enumerate(self.specs):
+            if spec.line_range is not None:
+                ranged.setdefault(spec.kind, []).append(
+                    (index, spec.line_range))
+        for kind, entries in ranged.items():
+            entries.sort(key=lambda e: e[1])
+            for (i_a, (lo_a, hi_a)), (i_b, (lo_b, hi_b)) in zip(
+                    entries, entries[1:]):
+                if lo_b < hi_a:
+                    problems.append({
+                        "spec": i_b, "field": "line_range",
+                        "detail": f"overlaps spec[{i_a}] of kind "
+                                  f"{kind!r}: [{lo_a}, {hi_a}) vs "
+                                  f"[{lo_b}, {hi_b})"})
+        if problems:
+            raise FaultPlanError(problems)
 
     def by_kind(self, kind: str) -> List[FaultSpec]:
         return [s for s in self.specs if s.kind == kind]
@@ -113,7 +209,11 @@ class FaultPlan:
                                     after_n=s.get("after_n", 1),
                                     bits=tuple(s.get("bits", (0,))),
                                     sticky=s.get("sticky", False),
-                                    stuck_value=s.get("stuck_value", 0))
+                                    stuck_value=s.get("stuck_value", 0),
+                                    probability=s.get("probability",
+                                                      1.0),
+                                    line_range=tuple(s["line_range"])
+                                    if s.get("line_range") else None)
                           for s in data.get("specs", ())])
 
     @classmethod

@@ -69,6 +69,32 @@ class NvmHeap:
         """Allocate with cache-line alignment (for PRE_DATA targets)."""
         return self.alloc(size, align=CACHE_LINE_BYTES, label=label)
 
+    def reserve(self, addr: int, size: int, label: str = "") -> int:
+        """Carve out an allocation at an *exact* address.
+
+        Image-restore paths (the soak harness resuming a workload on a
+        recovered NVM image) need the rebuilt heap to reproduce the
+        carried layout, not merely an equivalent one.  Raises
+        :class:`AllocationError` when ``[addr, addr + size)`` is not
+        wholly inside one free block.
+        """
+        if size <= 0:
+            raise AllocationError(f"reservation size must be positive: {size}")
+        for i, (start, extent) in enumerate(self._free):
+            if start <= addr and addr + size <= start + extent:
+                pieces = []
+                if addr > start:
+                    pieces.append((start, addr - start))
+                tail = (start + extent) - (addr + size)
+                if tail:
+                    pieces.append((addr + size, tail))
+                self._free[i:i + 1] = pieces
+                self._live[addr] = Allocation(addr, size, label)
+                self.bytes_allocated += size
+                return addr
+        raise AllocationError(
+            f"cannot reserve [{addr:#x}, {addr + size:#x}): not free")
+
     def free(self, addr: int) -> None:
         """Release a live allocation, coalescing neighbours."""
         alloc = self._live.pop(addr, None)

@@ -86,6 +86,10 @@ class RunLog:
         self.run_id = run_id
         self.seed = seed
         self.seq = 0
+        #: Bound envelope fields stamped onto every record until
+        #: unbound (the soak harness binds the cycle index here so
+        #: recovery/scrub events carry it without plumbing).
+        self.context: Dict = {}
         self._threshold = LEVELS.index(min_level)
 
     # -- emission -------------------------------------------------------
@@ -105,7 +109,7 @@ class RunLog:
             record["sim_ns"] = sim_ns
         if span is not None:
             record["span"] = span
-        for key, value in fields.items():
+        for key, value in {**self.context, **fields}.items():
             if value is not None:
                 record[key] = value
         self.seq += 1
@@ -165,6 +169,21 @@ def close() -> None:
     if _CURRENT is not None:
         _CURRENT.close()
         _CURRENT = None
+
+
+def bind(**fields) -> None:
+    """Stamp ``fields`` onto every subsequent record's envelope (e.g.
+    ``bind(cycle=3)`` in the soak harness).  No-op when disabled."""
+    if _CURRENT is not None:
+        _CURRENT.context.update(fields)
+
+
+def unbind(*names: str) -> None:
+    """Remove previously bound envelope fields (missing names are
+    ignored).  No-op when disabled."""
+    if _CURRENT is not None:
+        for name in names:
+            _CURRENT.context.pop(name, None)
 
 
 def event(component: str, event_name: str,

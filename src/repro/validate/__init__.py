@@ -8,6 +8,7 @@ from repro.validate.oracles import (
     IrbLockstep,
     OracleMismatch,
     build_scheduler_program,
+    check_recovery_idempotent,
     check_scheduler_equivalence,
     diff_images,
     run_scheduler_program,
@@ -20,6 +21,7 @@ __all__ = [
     "IrbLockstep",
     "OracleMismatch",
     "build_scheduler_program",
+    "check_recovery_idempotent",
     "check_scheduler_equivalence",
     "diff_images",
     "run_scheduler_program",

@@ -41,11 +41,13 @@ Hint ops are free no-ops outside janus mode, so one sequence drives
 every design point.
 """
 
+import hashlib
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.config import default_config
-from repro.common.errors import ReproError
+from repro.common.errors import RecoveryCrash, ReproError
 from repro.consistency import recover
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.core import NvmSystem
 from repro.janus.irb import IntermediateResultBuffer, IrbEntry
 from repro.janus.irb_linear import LinearScanIrb
@@ -264,6 +266,87 @@ def check_workload_equivalence(workload: str, seed: int = 7,
             f"{workload}: janus digest {candidate[:12]} != "
             f"serialized {reference[:12]}",
             diff=[("digest", reference, candidate)])
+
+
+# ---------------------------------------------------------------------------
+# Recovery idempotence: crash recovery at every step, recover again
+# ---------------------------------------------------------------------------
+def _recovery_digest(state) -> tuple:
+    """Default observable outcome of one recovery: the transaction
+    verdicts plus a hash of every materialised program-visible line."""
+    digest = hashlib.sha256()
+    overlay = state.overlay_snapshot()
+    for addr in sorted(overlay):
+        digest.update(addr.to_bytes(8, "little"))
+        digest.update(overlay[addr])
+    return (tuple(state.committed_txns), tuple(state.rolled_back),
+            digest.hexdigest())
+
+
+def check_recovery_idempotent(snapshot: dict,
+                              undo_log_regions: Sequence[Tuple[int, int]] = (),
+                              redo_log_regions: Sequence[Tuple[int, int]] = (),
+                              verify_macs: bool = True,
+                              digest_fn=None, policy=None) -> int:
+    """Prove ``recover(crash(recover(s))) == recover(s)`` at *every*
+    instrumented crash point.
+
+    One reference recovery counts the instrumented steps and records
+    the observable outcome (``digest_fn(state)``, defaulting to
+    transaction verdicts + an overlay hash).  Then, for each step
+    ``n``, a fresh copy of the snapshot is recovered with a seeded
+    ``recovery_crash`` armed at step ``n`` — which must raise
+    :class:`RecoveryCrash` — and recovered *again* without the
+    injector.  The second recovery must reproduce the reference
+    outcome exactly (including the quarantine set), or
+    :class:`OracleMismatch` is raised.  Returns the number of crash
+    points exercised.
+    """
+    digest_fn = digest_fn if digest_fn is not None else _recovery_digest
+
+    def fresh() -> dict:
+        # Recovery's only image mutations are whole-line heal-backs,
+        # so a shallow per-line copy isolates each attempt (the bytes
+        # themselves are immutable; metadata is only read).
+        return {"nvm_lines": dict(snapshot["nvm_lines"]),
+                "metadata": snapshot["metadata"]}
+
+    ref_quarantine: set = set()
+    reference = recover(fresh(), undo_log_regions, redo_log_regions,
+                        verify_macs=verify_macs, policy=policy,
+                        quarantine=ref_quarantine)
+    n_steps = reference.steps
+    ref_digest = digest_fn(reference)
+    for step in range(1, n_steps + 1):
+        injector = FaultInjector(FaultPlan(seed=step, specs=[
+            FaultSpec(kind="recovery_crash", after_n=step)]))
+        quarantine: set = set()
+        snap = fresh()
+        try:
+            recover(snap, undo_log_regions, redo_log_regions,
+                    verify_macs=verify_macs, injector=injector,
+                    policy=policy, quarantine=quarantine)
+        except RecoveryCrash:
+            pass
+        else:
+            raise OracleMismatch(
+                f"recovery_crash armed at step {step} never fired "
+                f"({n_steps} instrumented steps)")
+        retry = recover(snap, undo_log_regions, redo_log_regions,
+                        verify_macs=verify_macs, policy=policy,
+                        quarantine=quarantine)
+        if quarantine != ref_quarantine:
+            raise OracleMismatch(
+                f"recovery after a crash at step {step} quarantined "
+                f"{sorted(quarantine)} != reference "
+                f"{sorted(ref_quarantine)}")
+        got = digest_fn(retry)
+        if got != ref_digest:
+            raise OracleMismatch(
+                f"recovery is not idempotent across a crash at step "
+                f"{step}/{n_steps}",
+                diff=[("reference", ref_digest), ("got", got)])
+    return n_steps
 
 
 # ---------------------------------------------------------------------------

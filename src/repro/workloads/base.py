@@ -222,6 +222,30 @@ class TransactionalWorkload:
             if len(chunk) == CACHE_LINE_BYTES:
                 self._pool.append(chunk)
 
+    # -- resume-on-recovered-image support (soak harness) ---------------------
+    def on_restore(self, read) -> None:
+        """Rebuild volatile Python-side bookkeeping from a recovered
+        image.  ``read(addr, size) -> bytes`` is the recovered view.
+
+        Called by the soak harness after it reseeds this (freshly
+        constructed) workload's allocations with recovered bytes, so a
+        subclass can rederive cursors it normally tracks in Python
+        (queue length, insert counters).  Default: nothing to do.
+        """
+
+    def refork_streams(self, tag: str) -> None:
+        """Re-derive the value/choice rng streams under a cycle tag.
+
+        A restored workload must not replay the rng positions of a
+        fresh one — the soak harness tags each cycle so the resumed
+        run and its reference twin draw identical, cycle-unique
+        streams.
+        """
+        rng = self.system.rng.fork(
+            f"{self.name}-core{self.core.core_id}-{tag}")
+        self._value_rng = rng.stream("values")
+        self._choice_rng = rng.stream("choices")
+
     # -- logical state (crash-campaign support) ------------------------------
     def logical_state(self, read) -> dict:
         """Structure-aware decode of the persistent image.

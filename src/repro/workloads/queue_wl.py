@@ -148,6 +148,13 @@ class QueueWorkload(TransactionalWorkload):
         yield from txn.commit()
         self._length -= 1
 
+    def on_restore(self, read) -> None:
+        """Rederive the Python-side length cursor from the recovered
+        queue metadata line."""
+        _head, _tail, length = _META.unpack_from(
+            read(self.meta_addr, CACHE_LINE_BYTES))
+        self._length = length
+
     # -- functional checks (used by tests) ---------------------------------
     def drain_values(self):
         """Non-simulated walk of the queue: payload pointers in order."""

@@ -140,6 +140,13 @@ class TpccWorkload(TransactionalWorkload):
                            "ol_cnt": ol_cnt, "lines": lines})
         return {"next_o_id": next_o_id, "ytd": ytd, "orders": orders}
 
+    def on_restore(self, read) -> None:
+        """Rederive the insert counter from the recovered district
+        record (``next_o_id`` starts at 1)."""
+        next_o_id, _ytd = _DISTRICT.unpack_from(
+            read(self.district_addr, CACHE_LINE_BYTES))
+        self.orders_inserted = next_o_id - 1
+
     # -- functional check -----------------------------------------------------
     def read_order(self, o_id: int):
         raw = self.system.volatile.read(self._order_addr(o_id),

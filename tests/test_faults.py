@@ -22,7 +22,9 @@ from repro.faults import (
     DegradedModeManager,
     FaultInjector,
     FaultPlan,
+    FaultPlanError,
     FaultSpec,
+    RetryPolicy,
 )
 from repro.harness.crash_campaign import (
     reference_trajectory,
@@ -309,3 +311,105 @@ class TestDeterminism:
             run_full(system, wl)
             runs.append(injector.injected)
         assert runs[0] == runs[1]
+
+
+class TestRetryPolicy:
+    """The deterministic backoff schedule is pure integer arithmetic:
+    same policy, same attempt, same sim-ns — always."""
+
+    def test_delay_schedule_is_exponential_and_capped(self):
+        policy = RetryPolicy(max_retries=5, base_delay_ns=50,
+                             multiplier=2, max_delay_ns=300)
+        assert [policy.delay_for(a) for a in range(1, 6)] \
+            == [50, 100, 200, 300, 300]
+        assert policy.delay_for(0) == 0
+        assert policy.total_budget_ns() == 50 + 100 + 200 + 300 + 300
+
+    def test_validate_rejects_nonsense(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_retries=-1).validate()
+        with pytest.raises(ConfigError):
+            RetryPolicy(base_delay_ns=-5).validate()
+        with pytest.raises(ConfigError):
+            RetryPolicy(multiplier=0).validate()
+
+    def test_backoff_consumes_sim_time_and_is_counted(self):
+        # A transient read fault clears on retry; each retry must
+        # advance the simulated clock by the policy's exact delay and
+        # account it under faults.retry_backoff_ns.
+        plan = FaultPlan(seed=SEED, specs=[
+            FaultSpec("media_read_transient", after_n=1, bits=(3, 9))])
+        system, wl, injector = build(plan, NO_DEDUP_ECC)
+        run_full(system, wl)
+        addr = next(iter(system.pipeline.by_name["ecc"].codes))
+        policy = RetryPolicy(max_retries=2, base_delay_ns=70,
+                             multiplier=3)
+        degraded = DegradedModeManager(system, injector=injector,
+                                       policy=policy)
+        before = system.sim.now
+        degraded.read_line(addr)  # transient: first retry clears it
+        assert system.sim.now == before + policy.delay_for(1)
+        stats = counters(system)
+        assert stats["faults.read_retries"] == 1
+        assert stats["faults.retry_backoff_ns"] == policy.delay_for(1)
+        assert stats["faults.escalations"] == 0
+
+    def test_exhausted_budget_escalates_to_poison(self):
+        # Damage that survives every retry: the read must spend the
+        # full backoff budget, then quarantine + raise — an accounted
+        # escalation, not a silent or unbounded loop.
+        plan = FaultPlan(seed=SEED, specs=[
+            FaultSpec("media_write_flip", after_n=53, bits=(3, 9))])
+        system, wl, injector = build(plan, NO_DEDUP_ECC)
+        run_full(system, wl)
+        [record] = injector.injected
+        addr = record["addr"]
+        policy = RetryPolicy(max_retries=3, base_delay_ns=40)
+        degraded = DegradedModeManager(system, policy=policy)
+        before = system.sim.now
+        with pytest.raises(UncorrectableMediaError):
+            degraded.read_line(addr)
+        assert system.sim.now == before + policy.total_budget_ns()
+        stats = counters(system)
+        assert stats["faults.escalations"] == 1
+        assert stats["faults.poisoned_lines"] == 1
+        assert addr in degraded.poisoned
+
+
+class TestFaultPlanValidation:
+    """Construction-time validation: every defect reported at once,
+    structured for assertion rather than string-matching."""
+
+    def test_all_problems_reported_together(self):
+        with pytest.raises(FaultPlanError) as excinfo:
+            FaultPlan(specs=[
+                FaultSpec("cosmic_ray", after_n=0),
+                FaultSpec("media_write_flip", probability=1.5),
+            ])
+        problems = excinfo.value.problems
+        assert {(p["spec"], p["field"]) for p in problems} \
+            == {(0, "kind"), (0, "after_n"), (1, "probability")}
+
+    def test_overlapping_same_kind_line_ranges_rejected(self):
+        with pytest.raises(FaultPlanError) as excinfo:
+            FaultPlan(specs=[
+                FaultSpec("media_write_flip",
+                          line_range=(0x1000, 0x2000)),
+                FaultSpec("media_write_flip",
+                          line_range=(0x1800, 0x2800)),
+            ])
+        [problem] = excinfo.value.problems
+        assert problem["field"] == "line_range"
+        assert "overlaps" in problem["detail"]
+        # Different kinds may share a window — no ambiguity there.
+        FaultPlan(specs=[
+            FaultSpec("media_write_flip", line_range=(0x1000, 0x2000)),
+            FaultSpec("irb_corrupt", line_range=(0x1000, 0x2000)),
+        ])
+
+    def test_bad_line_range_and_stuck_value(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec("media_write_flip",
+                      line_range=(0x2000, 0x1000)).validate()
+        with pytest.raises(FaultPlanError):
+            FaultSpec("media_write_flip", stuck_value=2).validate()

@@ -114,6 +114,47 @@ class TestUndoTornTails:
         assert undone == [1]
         assert state.read(TARGET_A, 64) == OLD_A
 
+    def test_torn_payload_of_committed_txn_continues_to_commit(self):
+        # Torn-prefix continuation: the header is intact, so the scan
+        # skips the damaged payload and finds txn 2's commit record —
+        # the old value is provably never needed (the commit fenced on
+        # the in-place updates).  This shape used to hard-fail via the
+        # commit-beyond probe; now it recovers, poisoning the payload.
+        lines = {
+            BASE: backup(2, TARGET_A, OLD_A),
+            BASE + 64: GARBAGE,  # payload ADR-torn at power failure
+            BASE + 128: pack_record(_COMMIT_MAGIC, 2, 0, 0),
+            TARGET_A: NEW_A,
+        }
+        state = make_state(lines)
+        undone = state.rollback_undo_log(BASE, CAPACITY)
+        assert undone == []
+        assert state.committed_txns == [2]
+        assert state.read(TARGET_A, 64) == NEW_A  # committed, kept
+        assert state.torn_records_skipped == 1
+        assert BASE + 64 in state.torn_log_lines
+        assert BASE + 64 in state._quarantine  # escalated to poison
+
+    def test_torn_payload_does_not_hide_later_backups(self):
+        # Records beyond a torn payload still roll back: the intact
+        # header fixes the boundary, so txn 1's second backup is seen
+        # and restored even though its first payload is damaged.
+        lines = {
+            BASE: backup(1, TARGET_A, OLD_A),
+            BASE + 64: GARBAGE,  # torn payload: TARGET_A unrestorable
+            BASE + 128: backup(1, TARGET_B, OLD_B),
+            BASE + 192: OLD_B,
+            TARGET_A: NEW_A,
+            TARGET_B: NEW_B,
+        }
+        state = make_state(lines)
+        undone = state.rollback_undo_log(BASE, CAPACITY)
+        assert undone == [1]
+        assert state.read(TARGET_B, 64) == OLD_B  # restored
+        # The torn record is never applied — no garbage restore.
+        assert state.read(TARGET_A, 64) == NEW_A
+        assert state.torn_records_skipped == 1
+
     def test_commit_beyond_damage_refuses_rollback(self):
         # txn 1's commit record is durable past a damaged line.  The
         # commit fenced on every earlier record, so the damage means

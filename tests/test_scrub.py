@@ -106,3 +106,91 @@ class TestRefcountInvariant:
         system, _ = run_system(workload, n_txns=30)
         report = scrub(system)
         assert report.dedup_failures == [], report.render()
+
+
+class TestCrashableScrub:
+    """A scrub interrupted mid-heal must not lose earlier poison
+    records — the quarantine set is the contract that survives the
+    crash (PR 8 regression: the soak harness shares one quarantine
+    across recovery, re-recovery and scrub within a cycle)."""
+
+    @staticmethod
+    def _damaged_system():
+        from repro.core import NvmSystem
+        from repro.workloads import WorkloadParams, make_workload
+
+        system = NvmSystem(default_config(
+            bmos=("dedup", "encryption", "integrity", "ecc")))
+        wl = make_workload(
+            "hash_table", system, system.cores[0],
+            WorkloadParams(n_items=16, value_size=64,
+                           n_transactions=10), variant="baseline")
+        system.run_programs([wl.run()])
+        dedup = system.pipeline.by_name["dedup"]
+        enc = system.pipeline.by_name["encryption"]
+        ecc = system.pipeline.by_name["ecc"]
+        live = [e for e in dedup.table.entries.values()
+                if (e.pad_addr, e.counter) in enc.macs
+                and e.store_addr in ecc.codes]
+        victim_p, victim_h = live[0], live[1]
+        # victim_p: two flips in one 64-bit word — uncorrectable,
+        # walked first; victim_h: one flip — heals, walked second.
+        line = bytearray(system.nvm.read_line(victim_p.store_addr))
+        line[0] ^= 0x03
+        system.nvm.write_line(victim_p.store_addr, bytes(line))
+        line = bytearray(system.nvm.read_line(victim_h.store_addr))
+        line[5] ^= 0x10
+        system.nvm.write_line(victim_h.store_addr, bytes(line))
+        return system, victim_p.store_addr, victim_h.store_addr
+
+    def test_crash_in_heal_path_keeps_quarantine(self):
+        from repro.common.errors import RecoveryCrash
+        from repro.faults import (
+            DegradedModeManager,
+            FaultInjector,
+            FaultPlan,
+            FaultSpec,
+        )
+
+        # Probe pass on an identical twin: find the step index of the
+        # heal that follows the poison in walk order.
+        class Probe:
+            def __init__(self):
+                self.steps = []
+
+            def on_scrub_step(self, stage, **detail):
+                self.steps.append(stage)
+
+            def filter_read(self, addr, raw):
+                return raw
+
+        twin, _, _ = self._damaged_system()
+        probe = Probe()
+        scrub(twin, degraded=DegradedModeManager(twin, injector=probe),
+              injector=probe)
+        poison_step = probe.steps.index("poison") + 1
+        heal_step = probe.steps.index("heal") + 1
+        assert poison_step < heal_step
+
+        # Crash pass: scrub_crash armed exactly at the heal step.
+        system, poisoned_addr, healed_addr = self._damaged_system()
+        injector = FaultInjector(FaultPlan(seed=1, specs=[
+            FaultSpec(kind="scrub_crash", after_n=heal_step)]))
+        quarantine = set()
+        manager = DegradedModeManager(system, injector=injector,
+                                      quarantine=quarantine)
+        with pytest.raises(RecoveryCrash):
+            scrub(system, degraded=manager, injector=injector)
+        # The poison recorded before the crash must survive it.
+        assert poisoned_addr in quarantine
+
+        # Re-scrub with a fresh manager sharing the quarantine (what
+        # the soak harness does after a mid-scrub crash): converges,
+        # still accounts the poisoned line, never silently MAC-fails
+        # or resurrects it.
+        manager2 = DegradedModeManager(system, quarantine=quarantine)
+        report = scrub(system, degraded=manager2)
+        assert report.clean, report.render()
+        assert poisoned_addr in report.poisoned_lines
+        assert poisoned_addr in quarantine
+        assert healed_addr not in report.poisoned_lines

@@ -126,3 +126,25 @@ class TestReserveAndPrediction:
         assert preview == txn.commit_record_preview()
         magic, txn_id, _a, _s = _HEADER.unpack_from(preview)
         assert magic == _COMMIT_MAGIC and txn_id == txn.txn_id
+
+
+class TestTornPayloadContinuation:
+    def test_parser_yields_torn_backup_and_continues(self):
+        # An intact header with a CRC-failed payload does not end the
+        # scan: the parser reports it as ``torn_backup`` and picks up
+        # at the next record boundary.
+        system, log = make_log()
+        old = b"\x0B" * 64
+        system.volatile.write(
+            log.base, pack_record(_BACKUP_MAGIC, 3, 0x40, 64,
+                                  payload=old))
+        system.volatile.write(log.base + 64, b"\xEE" * 64)  # torn
+        system.volatile.write(
+            log.base + 128, pack_record(_COMMIT_MAGIC, 3, 0, 0))
+        records = list(parse_log(
+            lambda a: system.volatile.read(a, 64),
+            log.base, log.capacity))
+        assert [r[0] for r in records] == ["torn_backup", "commit"]
+        _k, txn_id, addr, size, payload_addr = records[0]
+        assert (txn_id, addr, size) == (3, 0x40, 64)
+        assert payload_addr == log.base + 64
