@@ -71,6 +71,14 @@ class BmoExecutor:
             else:
                 total = occupancy = 0
             self._op_timing[n] = (total, occupancy)
+        #: Optional per-execution timing adjustor installed by a
+        #: scheduling policy (``repro.bmo.policy``): called with
+        #: ``(name, ctx, total, occupancy)`` before each timed sub-op
+        #: and may return a discounted ``(total, occupancy)`` — the
+        #: coalesced mode uses this to charge a shared integrity-tree
+        #: node once per write batch.  Timing-only: functional
+        #: execution and commit are untouched.
+        self.timing_policy = None
         serial = pipeline.serial_latency()
         self._serial_total = quantize_ns(serial)
         self._serial_occupancy = min(
@@ -166,6 +174,9 @@ class BmoExecutor:
         sim = self.sim
         ready = sim.now  # dependencies satisfied; queueing begins
         total, occupancy = self._op_timing[name]
+        if total and self.timing_policy is not None:
+            total, occupancy = self.timing_policy.adjust_timing(
+                name, ctx, total, occupancy)
         if op.latency_ns > 0:
             grant = self.units.acquire()
             try:

@@ -19,6 +19,13 @@ correct); the pre-executed sibling snapshot is used only to decide how
 much hashing *time* must be recharged.  ``tests/test_crypto_merkle.py::
 test_apply_stale_path_breaks_verification`` demonstrates the hazard
 this avoids.
+
+The same recompute-at-commit guarantee is what makes the ``coalesced``
+scheduling mode (:mod:`repro.bmo.policy`) a pure timing optimization:
+when overlapping writebacks share an ancestor node, only the first
+write in the batch is *charged* for that level's hash — the functional
+update still happens per-write at commit, so tree state and
+verification are untouched.
 """
 
 from typing import Tuple

@@ -9,6 +9,15 @@ mutates, invoked by the memory controller when a write actually lands.
 ``build_pipeline`` constructs the paper's evaluated configuration
 (dedup + encryption + integrity) or any subset/superset, from a
 :class:`repro.common.config.SystemConfig`.
+
+*When* the pipeline runs relative to a writeback is decided one layer
+up, by the scheduling policy (:mod:`repro.bmo.policy`): serialized and
+parallel run it inline, janus pre-executes pieces of it, coalesced
+discounts shared integrity-node charges across a write batch, and
+async-epoch replays buffered writes through it at epoch close.  Every
+mode funnels through the same :meth:`BmoPipeline.commit`, so mechanism
+state mutates identically regardless of scheduling — the basis of the
+final-image equivalence oracle (``docs/scheduling-modes.md``).
 """
 
 from dataclasses import dataclass

@@ -1,0 +1,381 @@
+"""Write-path scheduling policies (the mode/policy abstraction).
+
+Every :class:`~repro.core.machine.MemoryController` owns exactly one
+:class:`SchedulingPolicy`, selected by ``SystemConfig.mode``.  The
+controller handles the mode-independent mechanics of a writeback
+(cache transfer, reading the dirty line); the policy decides *when*
+the BMO work runs and *what a completed writeback means* for
+durability — the four-mode consistency contract is documented in
+``docs/scheduling-modes.md``.
+
+Strict policies (``serialized``, ``parallel``, ``janus``): the
+writeback process returns only after the write (and, when required,
+its metadata) is accepted into the ADR persist domain, so ``sfence``
+implies durability.
+
+``ideal``: BMOs and persistence run off the critical path entirely —
+the paper's non-blocking upper bound (oracle, not buildable hardware).
+
+``coalesced`` (Freij et al., *Streamlining Integrity Tree Updates*):
+dataflow execution like ``parallel``, plus write-queue-level Merkle
+path coalescing — temporally-overlapping writebacks whose integrity
+paths share a tree ancestor charge that ancestor's hash once per
+batch.  The discount is timing-only: the functional commit path is
+byte-identical to ``serialized`` because the commit still recomputes
+or freshness-checks the path through the PR-7 memoization counter
+(``MerkleTree.mutations`` / ``IntegrityBmo._snapshot_fresh``), which
+is exactly what makes a shared pending node update safe to not
+re-hash.
+
+``async-epoch`` (Vilamb-style): writebacks park in a volatile epoch
+buffer and ``sfence`` completes once buffered — durability is
+*deferred*.  Every ``epoch_writes`` buffered writes the epoch closes
+and a background flusher replays it, in order, through the normal
+per-write BMO/persist path.  At most ``staleness_epochs`` closed
+epochs may be awaiting flush before new writebacks stall (the
+staleness dial).  After an epoch's last write is accepted into the
+persist domain the policy advances a small durable watermark
+(mirroring Vilamb's epoch counter in battery-backed space); recovery
+uses it to demote transactions whose commit records landed during a
+torn (partially-flushed) epoch — see
+``repro.consistency.recovery.RecoveredState.rollback_undo_log``.
+"""
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.errors import SimulationError
+
+
+class SchedulingPolicy:
+    """Base class: one policy instance per memory controller."""
+
+    name = ""
+    #: ``True`` when a completed writeback (observed by ``sfence``)
+    #: implies the write is in the ADR persist domain.
+    durable_at_sfence = True
+
+    def __init__(self, controller):
+        self.controller = controller
+        self.system = controller.system
+        self.sim = controller.sim
+        self.cfg = controller.cfg
+
+    # -- the write path ------------------------------------------------
+    def writeback(self, thread_id: int, line_addr: int, data: bytes,
+                  critical: bool, start: float):
+        """Process: mode-specific tail of one writeback.
+
+        The controller has already charged the cache transfer and read
+        the dirty line; the default (strict) shape runs the BMOs, then
+        persists, then completes — so ``sfence`` implies durability.
+        """
+        mc = self.controller
+        mc_arrival = self.sim.now
+        ctx = yield from self.run_bmos(thread_id, line_addr, data)
+        bmo_done = self.sim.now
+        yield from mc._persist(ctx, critical)
+        mc._h_critical_write.observe(self.sim.now - start)
+        mc._trace(thread_id, line_addr, start, mc_arrival, bmo_done,
+                  self.sim.now, critical)
+
+    def run_bmos(self, thread_id: int, line_addr: int, data: bytes):
+        """Process: run the BMO pipeline for one write; returns ctx."""
+        raise NotImplementedError
+
+    # -- lifecycle hooks -----------------------------------------------
+    def quiesce(self) -> None:
+        """Flush any relaxed state at clean shutdown (called by
+        ``NvmSystem.run_programs`` before the background drain)."""
+
+    def crash_metadata(self) -> Optional[Dict]:
+        """Durable policy state contributed to the crash snapshot
+        (``metadata["scheduling"]``), or ``None``."""
+        return None
+
+
+class SerializedPolicy(SchedulingPolicy):
+    """Baseline: BMOs as one monolithic serial block per write."""
+
+    name = "serialized"
+
+    def run_bmos(self, thread_id, line_addr, data):
+        ctx = self.system.pipeline.make_context(addr=line_addr,
+                                                data=data)
+        yield from self.system.executor.run_serialized(ctx)
+        return ctx
+
+
+class ParallelPolicy(SchedulingPolicy):
+    """Dataflow execution of the sub-op graph (oracle-only mode —
+    see docs/scheduling-modes.md: real BMT engines cannot start
+    dependent sub-ops before their inputs exist without the Janus
+    pre-execution hardware, so this point is an upper bound used by
+    the differential oracles and Fig. 9/13, not a buildable design)."""
+
+    name = "parallel"
+
+    def run_bmos(self, thread_id, line_addr, data):
+        ctx = self.system.pipeline.make_context(addr=line_addr,
+                                                data=data)
+        yield from self.system.executor.run_subops(ctx)
+        return ctx
+
+
+class JanusPolicy(SchedulingPolicy):
+    """Pre-execution: consume IRB results, finish what is stale."""
+
+    name = "janus"
+
+    def run_bmos(self, thread_id, line_addr, data):
+        ctx, _fully = yield from self.system.janus.service_write(
+            thread_id, line_addr, data)
+        return ctx
+
+
+class IdealPolicy(SchedulingPolicy):
+    """Non-blocking writeback: all BMO/persist work off the critical
+    path.  Same-line writes chain so commits keep program order —
+    being off the critical path must not reorder a line's final
+    contents (hypothesis found exactly that bug)."""
+
+    name = "ideal"
+
+    def __init__(self, controller):
+        super().__init__(controller)
+        self._line_chains: Dict[int, object] = {}
+
+    def writeback(self, thread_id, line_addr, data, critical, start):
+        mc = self.controller
+        mc_arrival = self.sim.now
+        previous = self._line_chains.get(line_addr)
+        proc = self.sim.process(
+            self._background(line_addr, data, critical,
+                             wait_for=previous),
+            name="ideal-bg")
+        self._line_chains[line_addr] = proc
+        mc._h_critical_write.observe(self.sim.now - start)
+        mc._trace(thread_id, line_addr, start, mc_arrival, mc_arrival,
+                  self.sim.now, critical)
+        return
+        yield  # pragma: no cover — keeps this a generator
+
+    def _background(self, line_addr, data, critical, wait_for=None):
+        if wait_for is not None and not wait_for.triggered:
+            yield wait_for
+        ctx = self.system.pipeline.make_context(addr=line_addr,
+                                                data=data)
+        yield from self.system.executor.run_subops(ctx)
+        yield from self.controller._persist(ctx, critical)
+
+
+class CoalescedPolicy(ParallelPolicy):
+    """Write-queue-level Merkle path coalescing (Freij et al.).
+
+    Timing model: writebacks in flight at the same time form a
+    *batch*; within a batch, the first write touching an integrity
+    tree node at a given level pays that level's hash, every other
+    write sharing the node rides the same pending update for free.
+    The ledger is per-``(sub-op level, node index)`` keyed by batch
+    id; a batch ends when the in-flight count drains to zero, so
+    batching is deterministic (simulation order, not wall clock).
+
+    Functional model: unchanged.  The commit path recomputes (or
+    freshness-validates via ``MerkleTree.mutations``) every path it
+    installs, so the final image is byte-identical to ``serialized``
+    — asserted by ``repro.validate.oracles.check_mode_equivalence``.
+    """
+
+    name = "coalesced"
+
+    def __init__(self, controller):
+        super().__init__(controller)
+        integrity = self.system.pipeline.by_name.get("integrity")
+        self._integrity = integrity
+        #: sub-op name -> leaves covered per node at that level.
+        self._strides: Dict[str, int] = {}
+        if integrity is not None:
+            arity = integrity.tree.arity
+            self._strides = {
+                f"I{level}": arity ** (level - 1)
+                for level in range(1, integrity.tree.height + 1)}
+        self._batch = 0
+        self._inflight = 0
+        #: (sub-op, node index) -> batch id that already paid for it.
+        self._charged: Dict[Tuple[str, int], int] = {}
+        stats = self.system.metrics.scope("sched")
+        self._c_batches = stats.counter("coalesce_batches")
+        self._c_coalesced = stats.counter("coalesced_node_updates")
+        self._c_charged = stats.counter("charged_node_updates")
+        self.system.executor.timing_policy = self
+
+    def writeback(self, thread_id, line_addr, data, critical, start):
+        if self._inflight == 0:
+            self._batch += 1
+            self._charged.clear()
+            self._c_batches.add()
+        self._inflight += 1
+        try:
+            yield from super().writeback(thread_id, line_addr, data,
+                                         critical, start)
+        finally:
+            self._inflight -= 1
+
+    def adjust_timing(self, name: str, ctx, total: int,
+                      occupancy: int) -> Tuple[int, int]:
+        """Executor hook: discount an integrity level whose tree node
+        was already charged by an overlapping write in this batch."""
+        stride = self._strides.get(name)
+        if stride is None or self._integrity is None \
+                or ctx.addr is None:
+            return total, occupancy
+        node = self._integrity.leaf_index(ctx.addr) // stride
+        key = (name, node)
+        if self._charged.get(key) == self._batch:
+            self._c_coalesced.add()
+            return 0, 0
+        self._charged[key] = self._batch
+        self._c_charged.add()
+        return total, occupancy
+
+
+class AsyncEpochPolicy(SchedulingPolicy):
+    """Vilamb-style epoch-batched BMO scheduling with bounded
+    staleness.  See the module docstring and
+    ``docs/scheduling-modes.md`` for the durability contract."""
+
+    name = "async-epoch"
+    durable_at_sfence = False
+
+    def __init__(self, controller):
+        super().__init__(controller)
+        sched = self.cfg.scheduling
+        self.epoch_writes = sched.epoch_writes
+        self.staleness_epochs = sched.staleness_epochs
+        self._buffer_ns = sched.buffer_ns
+        #: Open epoch: (thread_id, line_addr, data, critical) in
+        #: buffer order — which respects each core's fence order,
+        #: because a fence only retires once its writes are buffered.
+        self._open: List[Tuple[int, int, bytes, bool]] = []
+        #: Transactions whose commit record was buffered into the
+        #: open epoch (critical writes carry the commit records).
+        self._open_txns: Set[int] = set()
+        #: Closed epochs awaiting (or under) flush, FIFO.
+        self._closed: List[Tuple[List, Set[int]]] = []
+        self._flusher = None
+        self._stall_gates: List = []
+        #: Durable watermark: transactions whose containing epoch has
+        #: fully reached the persist domain.  Transaction ids are
+        #: per-core counters; the watermark keeps a flat set because
+        #: recovery scans one undo-log region per workload stream
+        #: (the campaign/soak shape) — a multi-log split would key
+        #: this by thread.
+        self._flushed_txns: Set[int] = set()
+        self._epochs_closed = 0
+        self._epochs_flushed = 0
+        stats = self.system.metrics.scope("sched")
+        self._c_buffered = stats.counter("epoch_buffered_writes")
+        self._c_epochs_closed = stats.counter("epochs_closed")
+        self._c_epochs_flushed = stats.counter("epochs_flushed")
+        self._c_stalls = stats.counter("staleness_stalls")
+        self._h_flush = stats.histogram("epoch_flush_ns")
+
+    def writeback(self, thread_id, line_addr, data, critical, start):
+        mc = self.controller
+        # Bounded staleness: stall while the maximum number of closed
+        # epochs is still awaiting flush.  The invariant afterwards:
+        # closed - flushed <= staleness_epochs at every instant.
+        while self._epochs_closed - self._epochs_flushed \
+                >= self.staleness_epochs:
+            self._c_stalls.add()
+            gate = self.sim.event("epoch-room")
+            self._stall_gates.append(gate)
+            yield gate
+        yield self.sim.delay(self._buffer_ns)
+        self._open.append((thread_id, line_addr, data, critical))
+        self._c_buffered.add()
+        if critical:
+            # Critical writebacks carry transaction commit records;
+            # remember the owning transaction so the watermark can
+            # promote it when this epoch is fully durable.
+            txn = self.system.cores[thread_id].current_txn_id
+            if txn:
+                self._open_txns.add(txn)
+        now = self.sim.now
+        mc._h_critical_write.observe(now - start)
+        mc._trace(thread_id, line_addr, start, now, now, now, critical)
+        if len(self._open) >= self.epoch_writes:
+            self._close_epoch()
+
+    def run_bmos(self, thread_id, line_addr, data):  # pragma: no cover
+        raise SimulationError(
+            "async-epoch runs BMOs from its flusher, not inline")
+
+    def _close_epoch(self) -> None:
+        if not self._open:
+            return
+        self._closed.append((self._open, self._open_txns))
+        self._open, self._open_txns = [], set()
+        self._epochs_closed += 1
+        self._c_epochs_closed.add()
+        if self._flusher is None or self._flusher.triggered:
+            self._flusher = self.sim.process(self._flush(),
+                                             name="epoch-flush")
+
+    def _flush(self):
+        """Background process: replay closed epochs, oldest first,
+        through the normal per-write BMO/persist path.  Strictly
+        sequential, so the persist domain always holds a *prefix* of
+        the buffered write stream — the property torn-epoch recovery
+        stands on."""
+        mc = self.controller
+        while self._closed:
+            writes, txns = self._closed[0]
+            start = self.sim.now
+            for thread_id, line_addr, data, critical in writes:
+                ctx = self.system.pipeline.make_context(
+                    addr=line_addr, data=data)
+                yield from self.system.executor.run_subops(ctx)
+                yield from mc._persist(ctx, critical)
+            # Everything in this epoch is accepted into the ADR
+            # domain: advance the durable watermark atomically (no
+            # yield between the last persist and this update).
+            self._closed.pop(0)
+            self._epochs_flushed += 1
+            self._c_epochs_flushed.add()
+            self._h_flush.observe(self.sim.now - start)
+            self._flushed_txns.update(txns)
+            gates, self._stall_gates = self._stall_gates, []
+            for gate in gates:
+                gate.succeed()
+
+    def quiesce(self) -> None:
+        # Clean shutdown: seal the open epoch; the caller's background
+        # drain runs the flusher to empty, so a completed run is fully
+        # durable and its final image matches the strict modes.
+        self._close_epoch()
+
+    def crash_metadata(self) -> Dict:
+        return {
+            "mode": self.name,
+            "epoch_writes": self.epoch_writes,
+            "staleness_epochs": self.staleness_epochs,
+            "epochs_closed": self._epochs_closed,
+            "epochs_flushed": self._epochs_flushed,
+            "flushed_txns": sorted(self._flushed_txns),
+        }
+
+
+POLICIES = {
+    policy.name: policy
+    for policy in (SerializedPolicy, ParallelPolicy, JanusPolicy,
+                   IdealPolicy, CoalescedPolicy, AsyncEpochPolicy)
+}
+
+
+def build_policy(controller) -> SchedulingPolicy:
+    """Instantiate the policy for ``controller.cfg.mode``."""
+    cls = POLICIES.get(controller.cfg.mode)
+    if cls is None:  # pragma: no cover - validated by SystemConfig
+        raise SimulationError(
+            f"no scheduling policy for mode {controller.cfg.mode!r}")
+    return cls(controller)

@@ -76,6 +76,7 @@ import json
 import os
 import sys
 
+from repro.common.config import SystemConfig
 from repro.harness import experiments
 from repro.harness.report import Table
 from repro.harness.runner import run_point, speedup_over
@@ -105,6 +106,9 @@ FIGURES = {
             scale=scale, jobs=jobs, progress=progress),
     "fig14": lambda scale, jobs, progress:
         experiments.fig14_resources(
+            scale=scale, jobs=jobs, progress=progress),
+    "modes": lambda scale, jobs, progress:
+        experiments.modes_comparison(
             scale=scale, jobs=jobs, progress=progress),
     "overhead": _static(experiments.overhead_analysis),
     "composition": lambda scale, jobs, progress:
@@ -189,11 +193,22 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--value-size", type=int, default=64)
         if modes:
             p.add_argument("--mode", default="janus",
-                           choices=("serialized", "parallel", "janus",
-                                    "ideal"))
+                           choices=SystemConfig.MODES,
+                           help="write-path scheduling mode; the "
+                                "per-mode durability contract is "
+                                "docs/scheduling-modes.md")
             p.add_argument("--variant", default=None,
                            choices=("baseline", "manual", "auto"))
             p.add_argument("--cores", type=int, default=1)
+            p.add_argument("--staleness-epochs", type=int,
+                           default=None, metavar="N",
+                           help="async-epoch only: max closed epochs "
+                                "awaiting flush before writebacks "
+                                "stall (default 2)")
+            p.add_argument("--epoch-writes", type=int, default=None,
+                           metavar="N",
+                           help="async-epoch only: buffered writes "
+                                "per epoch (default 32)")
 
     run = sub.add_parser("run", help="simulate one design point")
     add_workload_args(run)
@@ -323,8 +338,10 @@ def _build_parser() -> argparse.ArgumentParser:
     crashtest.add_argument("--workloads", default=None, metavar="W,W",
                            help="comma-separated subset (default all)")
     crashtest.add_argument("--modes", default=None, metavar="M,M",
-                           help="comma-separated subset of "
-                                "serialized,janus")
+                           help="comma-separated modes to sweep "
+                                "(default serialized,janus; any of "
+                                "serialized,parallel,janus,ideal,"
+                                "coalesced,async-epoch)")
     crashtest.add_argument("--seed", type=int, default=7)
     crashtest.add_argument("--no-scenarios", action="store_true",
                            help="skip the fault-class scenarios")
@@ -348,8 +365,10 @@ def _build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--workloads", default=None, metavar="W,W",
                       help="comma-separated subset (default all)")
     soak.add_argument("--modes", default=None, metavar="M,M",
-                      help="comma-separated subset of "
-                           "serialized,janus")
+                      help="comma-separated modes to sweep "
+                           "(default serialized,janus; any of "
+                           "serialized,parallel,janus,ideal,"
+                           "coalesced,async-epoch)")
     soak.add_argument("--seed", type=int, default=7)
     soak.add_argument("--no-oracle", action="store_true",
                       help="skip the per-crash-point idempotence "
@@ -395,6 +414,20 @@ def _params(args) -> WorkloadParams:
     return WorkloadParams(n_items=args.items,
                           value_size=args.value_size,
                           n_transactions=args.txns)
+
+
+def _scheduling_overrides(args) -> dict:
+    """Config overrides for the relaxed-mode dials, when given."""
+    if getattr(args, "staleness_epochs", None) is None \
+            and getattr(args, "epoch_writes", None) is None:
+        return {}
+    from repro.common.config import SchedulingConfig
+    sched = SchedulingConfig()
+    if args.staleness_epochs is not None:
+        sched.staleness_epochs = args.staleness_epochs
+    if args.epoch_writes is not None:
+        sched.epoch_writes = args.epoch_writes
+    return {"scheduling": sched}
 
 
 def cmd_figures(_args) -> int:
@@ -454,7 +487,8 @@ def cmd_run(args) -> int:
                            params=_params(args), tracer=tracer,
                            sampler=sampler,
                            check_invariants=args.check,
-                           scheduler=args.scheduler or "")
+                           scheduler=args.scheduler or "",
+                           **_scheduling_overrides(args))
     except Exception as error:
         from repro.validate import InvariantViolation
         if not isinstance(error, InvariantViolation):
@@ -611,7 +645,8 @@ def cmd_compare(args) -> int:
     table = Table(f"{args.workload}: design-point comparison",
                   ["design", "ns/txn", "speedup vs serialized"])
     table.add_row("serialized", serialized.ns_per_transaction, 1.0)
-    for mode, variant in (("parallel", None), ("janus", "manual"),
+    for mode, variant in (("parallel", None), ("coalesced", None),
+                          ("async-epoch", None), ("janus", "manual"),
                           ("janus", "auto"), ("ideal", None)):
         result = run_point(args.workload, mode=mode, variant=variant,
                            params=params)
@@ -745,14 +780,16 @@ def cmd_scrub(args) -> int:
     crash_at = args.crash_at
     if crash_at is None:
         # Calibrate: a fault-free twin run fixes the time horizon.
-        calib = NvmSystem(default_config(mode=args.mode,
-                                         seed=args.seed))
+        calib = NvmSystem(default_config(
+            mode=args.mode, seed=args.seed,
+            **_scheduling_overrides(args)))
         twin = make_workload(args.workload, calib, calib.cores[0],
                              params, variant=variant)
         horizon = calib.run_programs([twin.run()])
         crash_at = max(1.0, 0.6 * horizon)
 
-    system = NvmSystem(default_config(mode=args.mode, seed=args.seed),
+    system = NvmSystem(default_config(mode=args.mode, seed=args.seed,
+                                      **_scheduling_overrides(args)),
                        injector=injector)
     workload = make_workload(args.workload, system, system.cores[0],
                              params, variant=variant)

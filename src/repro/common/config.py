@@ -212,6 +212,35 @@ class JanusConfig:
 
 
 @dataclass
+class SchedulingConfig:
+    """Relaxed write-path scheduling parameters.
+
+    Consumed by the ``coalesced`` and ``async-epoch`` modes (see
+    ``docs/scheduling-modes.md``); ignored by the strict modes.
+    """
+
+    #: ``async-epoch``: writebacks buffered before the epoch closes
+    #: and its BMO/persist work is scheduled as one batch.
+    epoch_writes: int = 32
+    #: ``async-epoch``: how many closed-but-unflushed epochs may be
+    #: outstanding before new writebacks stall (the staleness dial —
+    #: bounds post-crash data loss to ``staleness_epochs + 1`` open/
+    #: in-flight epochs of writes).
+    staleness_epochs: int = 2
+    #: ``async-epoch``: cost charged to the critical path for parking
+    #: one writeback in the volatile epoch buffer.
+    buffer_ns: float = 2.0
+
+    def validate(self) -> None:
+        if self.epoch_writes <= 0:
+            raise ConfigError("epoch_writes must be positive")
+        if self.staleness_epochs < 1:
+            raise ConfigError("staleness_epochs must be >= 1")
+        if self.buffer_ns < 0:
+            raise ConfigError("buffer_ns cannot be negative")
+
+
+@dataclass
 class CoreConfig:
     """Simulated core parameters."""
 
@@ -235,7 +264,9 @@ class SystemConfig:
     """Root configuration for one simulated NVM system."""
 
     cores: int = 1
-    mode: str = "janus"  # serialized | parallel | janus | ideal
+    #: Write-path scheduling mode: serialized | parallel | janus |
+    #: ideal | coalesced | async-epoch (docs/scheduling-modes.md).
+    mode: str = "janus"
     core: CoreConfig = field(default_factory=CoreConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
@@ -243,6 +274,8 @@ class SystemConfig:
     dedup: DedupConfig = field(default_factory=DedupConfig)
     integrity: IntegrityConfig = field(default_factory=IntegrityConfig)
     janus: JanusConfig = field(default_factory=JanusConfig)
+    scheduling: SchedulingConfig = field(
+        default_factory=SchedulingConfig)
     #: Which BMOs are active, in pipeline order.
     bmos: tuple = ("dedup", "encryption", "integrity")
     #: Apply metadata atomicity only to consistency-critical writes
@@ -264,7 +297,11 @@ class SystemConfig:
     scheduler: str = ""
     seed: int = 42
 
-    MODES = ("serialized", "parallel", "janus", "ideal")
+    MODES = ("serialized", "parallel", "janus", "ideal",
+             "coalesced", "async-epoch")
+    #: Modes whose sfence completion does not imply durability (the
+    #: write may still sit in a volatile epoch buffer).
+    RELAXED_MODES = ("async-epoch",)
     SCHEDULERS = ("", "bucket", "heap")
 
     def validate(self) -> "SystemConfig":
@@ -283,6 +320,7 @@ class SystemConfig:
         _quantize_ns_fields(self.memory)
         _quantize_ns_fields(self.bmo_latencies)
         _quantize_ns_fields(self.janus)
+        _quantize_ns_fields(self.scheduling)
         known_bmos = {"dedup", "encryption", "integrity", "compression",
                       "wear_leveling", "ecc", "oram"}
         for name in self.bmos:
@@ -300,6 +338,7 @@ class SystemConfig:
         self.dedup.validate()
         self.integrity.validate()
         self.janus.validate()
+        self.scheduling.validate()
         return self
 
     def replace(self, **kwargs) -> "SystemConfig":

@@ -89,6 +89,18 @@ class RecoveredState:
         #: each fetched ciphertext, correcting single-bit media
         #: damage and rejecting uncorrectable lines explicitly.
         self._ecc_codes = metadata.get("ecc", {}).get("codes", {})
+        #: Scheduling-policy watermark from the crash snapshot
+        #: (relaxed modes only — see ``docs/scheduling-modes.md``).
+        #: For ``async-epoch`` it carries the ids of transactions
+        #: whose containing epoch fully reached the persist domain;
+        #: a commit record outside that set belongs to a *torn epoch*
+        #: and is demoted to uncommitted at undo-log scan time.
+        self.scheduling = metadata.get("scheduling")
+        self._flushed_txns: Optional[Set[int]] = None
+        if self.scheduling \
+                and self.scheduling.get("mode") == "async-epoch":
+            self._flushed_txns = set(
+                self.scheduling.get("flushed_txns", ()))
         #: Lines whose single-bit media damage ECC corrected.
         self.media_corrected: List[int] = []
         #: Log-region lines that failed verification while scanning —
@@ -97,6 +109,10 @@ class RecoveredState:
         self.rolled_back: List[int] = []
         #: Transaction ids whose commit record was found by the scan.
         self.committed_txns: List[int] = []
+        #: Transactions demoted to uncommitted (and rolled back)
+        #: because their commit record landed in an epoch the
+        #: async-epoch watermark says never fully flushed.
+        self.demoted_txns: List[int] = []
         #: Lines quarantined *by this recovery* (escalations).
         self.poisoned_lines: List[int] = []
         #: Media reads retried / sim-ns spent backing off / lines
@@ -283,7 +299,7 @@ class RecoveredState:
             return bytes(CACHE_LINE_BYTES)
 
     def _commit_beyond(self, stop: int, end: int,
-                       commit_magics) -> Optional[int]:
+                       commit_magics) -> Optional[Tuple[int, int]]:
         """Probe for a commit record *after* the scan's stop point.
 
         A durable commit record fences on all of its transaction's
@@ -292,6 +308,8 @@ class RecoveredState:
         drop/tear ate an already-accepted record).  Treating the
         damage as an ordinary torn tail would silently roll back a
         committed transaction — so the caller raises instead.
+        Returns ``(line_addr, txn_id)`` so callers with an epoch
+        watermark can exempt transactions that are demoted anyway.
 
         Only lines the metadata says were written are probed (the
         undamaged remainder of the region is unwritten space).
@@ -302,7 +320,7 @@ class RecoveredState:
                 continue
             parsed = unpack_record(self._scan_read_line(addr))
             if parsed is not None and parsed[0] in commit_magics:
-                return addr
+                return addr, parsed[1]
         return None
 
     # -- redo replay -----------------------------------------------------------
@@ -337,9 +355,15 @@ class RecoveredState:
                                    {_RCOMMIT_MAGIC})
         if tail is not None:
             raise RecoveryError(
-                f"redo commit record at {tail:#x} beyond a damaged "
+                f"redo commit record at {tail[0]:#x} beyond a damaged "
                 f"log line — the log was damaged mid-stream, refusing "
                 f"to silently drop a committed transaction")
+        # NOTE the redo/undo asymmetry under async-epoch: redo
+        # transactions are never demoted by the epoch watermark.  A
+        # redo commit means the in-place updates may already have
+        # started (they happen *after* commit), and replaying from the
+        # durable log is the repair — demotion would abandon a
+        # half-applied transaction with no backups to restore from.
         committed_set = set(committed)
         for txn_id, addr, size, payload_addr in updates:
             if txn_id in committed_set:
@@ -387,11 +411,53 @@ class RecoveredState:
         tail = self._commit_beyond(scan_stop, base + capacity,
                                    {_COMMIT_MAGIC})
         if tail is not None:
-            raise RecoveryError(
-                f"commit record at {tail:#x} beyond a damaged log "
-                f"line — the log was damaged mid-stream, refusing to "
-                f"silently roll back a committed transaction")
+            tail_addr, tail_txn = tail
+            if self._flushed_txns is not None \
+                    and tail_txn not in self._flushed_txns:
+                # The beyond-damage commit belongs to a torn epoch:
+                # the watermark demotes that transaction regardless,
+                # so the damage really is an ordinary torn tail.
+                self._step("demote-tail", txn=tail_txn)
+                runlog.event("consistency.recovery",
+                             "torn-epoch-commit-beyond-damage",
+                             level="warn", txn=tail_txn,
+                             addr=tail_addr)
+            else:
+                raise RecoveryError(
+                    f"commit record at {tail_addr:#x} beyond a "
+                    f"damaged log line — the log was damaged "
+                    f"mid-stream, refusing to silently roll back a "
+                    f"committed transaction")
+        # Torn-epoch demotion (async-epoch mode): a commit record is
+        # only *provisionally* durable until its containing epoch has
+        # fully flushed.  Any committed transaction outside the
+        # watermark is demoted to uncommitted and rolled back below,
+        # landing recovery exactly on the last fully-flushed epoch
+        # boundary (docs/scheduling-modes.md).  The demoted backups
+        # are guaranteed present: the flusher persists the buffered
+        # stream strictly in order, so a durable commit record implies
+        # every earlier record of its transaction is durable too.
+        demoted: Set[int] = set()
+        if self._flushed_txns is not None:
+            demoted = {t for t in committed
+                       if t not in self._flushed_txns}
+            for txn_id in sorted(demoted):
+                self._step("demote", txn=txn_id)
+                committed.discard(txn_id)
+                runlog.event("consistency.recovery", "epoch-demote",
+                             level="warn", txn=txn_id)
+            self.demoted_txns.extend(sorted(demoted))
         for txn_id, addr, size, payload_addr in torn:
+            if txn_id in demoted:
+                # A demoted transaction *needs* its backups — the
+                # torn-backup shortcut ("committed means the old
+                # values are never needed") does not apply once the
+                # commit itself is demoted.
+                raise RecoveryError(
+                    f"transaction {txn_id} was demoted by the epoch "
+                    f"watermark but its backup record at "
+                    f"{payload_addr:#x} is torn — cannot roll back "
+                    f"to the epoch boundary")
             self._step("torn-skip", txn=txn_id, addr=payload_addr)
             for line in range(payload_addr,
                               payload_addr + align_up(size),

@@ -6,6 +6,7 @@ from typing import Dict, List, Optional
 from repro.bmo.dedup import DedupTable
 from repro.bmo.executor import BmoExecutor
 from repro.bmo.pipeline import build_pipeline
+from repro.bmo.policy import build_policy
 from repro.common.config import SystemConfig
 from repro.common.errors import SimulationError
 from repro.common.rng import DeterministicRng
@@ -23,7 +24,12 @@ from repro.sim import Resource, Simulator
 
 
 class MemoryController:
-    """Write path: cache writeback -> BMOs (mode-dependent) -> persist.
+    """Write path: cache writeback -> scheduling policy -> persist.
+
+    The mode-dependent tail of each writeback (when the BMOs run and
+    what completion means for durability) lives in the controller's
+    :class:`repro.bmo.policy.SchedulingPolicy`; the consistency
+    contract per mode is documented in ``docs/scheduling-modes.md``.
 
     The persist point is acceptance into the write queue (ADR); the
     device write and any relocation traffic continue in the
@@ -70,9 +76,9 @@ class MemoryController:
         self._metadata_base = (self.cfg.memory.capacity_bytes
                                - self.METADATA_REGION_LINES
                                * CACHE_LINE_BYTES)
-        # Ideal mode: background BMO/commit work races unless chained;
-        # real hardware still orders same-line writes in the queue.
-        self._ideal_line_chains = {}
+        #: The scheduling policy for ``cfg.mode`` — owns the
+        #: mode-dependent tail of every writeback.
+        self.policy = build_policy(self)
 
     def read_decrypt_penalty_ns(self, line_addr: int,
                                 streamed: bool) -> float:
@@ -106,41 +112,18 @@ class MemoryController:
                   critical: bool = False):
         """Process: one cache-line writeback to the persist domain.
 
-        Returns when the write (and, when required, its metadata) is
-        durably accepted.  This is what a ``clwb``'s completion —
-        observed by the next ``sfence`` — waits for.
+        Returns when the write reaches the point its scheduling policy
+        calls complete — durable acceptance for the strict modes, the
+        epoch buffer for ``async-epoch``.  This is what a ``clwb``'s
+        completion — observed by the next ``sfence`` — waits for.
         """
-        system = self.system
         self._c_writebacks.add()
         start = self.sim.now
         # Cache hierarchy -> memory controller transfer (~15 ns).
         yield self.sim.delay(self.cfg.cache.writeback_ns)
-        data = system.volatile.read_line(line_addr)
-
-        mode = self.cfg.mode
-        mc_arrival = self.sim.now
-        if mode == "ideal":
-            # Non-blocking writeback: BMOs run off the critical path.
-            # Same-line writes chain so commits keep program order —
-            # being off the critical path must not reorder a line's
-            # final contents (hypothesis found exactly that bug).
-            previous = self._ideal_line_chains.get(line_addr)
-            proc = self.sim.process(
-                self._background_bmos(thread_id, line_addr, data,
-                                      critical, wait_for=previous),
-                name="ideal-bg")
-            self._ideal_line_chains[line_addr] = proc
-            self._h_critical_write.observe(self.sim.now - start)
-            self._trace(thread_id, line_addr, start, mc_arrival,
-                        mc_arrival, self.sim.now, critical)
-            return
-
-        ctx = yield from self._run_bmos(thread_id, line_addr, data)
-        bmo_done = self.sim.now
-        yield from self._persist(ctx, critical)
-        self._h_critical_write.observe(self.sim.now - start)
-        self._trace(thread_id, line_addr, start, mc_arrival, bmo_done,
-                    self.sim.now, critical)
+        data = self.system.volatile.read_line(line_addr)
+        yield from self.policy.writeback(thread_id, line_addr, data,
+                                         critical, start)
 
     def _trace(self, thread_id, line_addr, start, mc_arrival,
                bmo_done, persisted, critical) -> None:
@@ -166,31 +149,6 @@ class MemoryController:
             tracer.complete("persist", "write-phase", track,
                             start_ns=bmo_done,
                             dur_ns=persisted - bmo_done)
-
-    def _run_bmos(self, thread_id: int, line_addr: int, data: bytes):
-        system = self.system
-        mode = self.cfg.mode
-        if mode == "serialized":
-            ctx = system.pipeline.make_context(addr=line_addr, data=data)
-            yield from system.executor.run_serialized(ctx)
-        elif mode == "parallel":
-            ctx = system.pipeline.make_context(addr=line_addr, data=data)
-            yield from system.executor.run_subops(ctx)
-        elif mode == "janus":
-            ctx, _fully = yield from system.janus.service_write(
-                thread_id, line_addr, data)
-        else:  # pragma: no cover - validated by SystemConfig
-            raise SimulationError(f"unknown mode {mode!r}")
-        return ctx
-
-    def _background_bmos(self, thread_id: int, line_addr: int,
-                         data: bytes, critical: bool, wait_for=None):
-        """Ideal mode: same work, off the critical path."""
-        if wait_for is not None and not wait_for.triggered:
-            yield wait_for
-        ctx = self.system.pipeline.make_context(addr=line_addr, data=data)
-        yield from self.system.executor.run_subops(ctx)
-        yield from self._persist(ctx, critical)
 
     def _persist(self, ctx, critical: bool):
         """Commit BMO state and enter the persist domain."""
@@ -469,10 +427,14 @@ class NvmSystem:
         all_done = self.sim.all_of(procs)
         self.sim.run(stop_event=all_done)
         elapsed = self.sim.now
-        # Drain background work (device writes, ideal-mode BMOs) so
-        # functional state is complete, without charging it to the
-        # measured program time — those operations are off the
-        # critical path by construction.
+        # Clean shutdown: let the scheduling policy seal any relaxed
+        # state (async-epoch closes its open epoch) so the drain below
+        # makes a completed run fully durable.
+        self.controller.policy.quiesce()
+        # Drain background work (device writes, ideal-mode BMOs,
+        # epoch flushes) so functional state is complete, without
+        # charging it to the measured program time — those operations
+        # are off the critical path by construction.
         self.sim.run()
         for proc in procs:
             if proc._exc is not None:
@@ -505,6 +467,12 @@ class NvmSystem:
             "nvm_lines": dict(self.nvm._lines),
             "metadata": self.pipeline.unreconstructable_metadata(),
         }
+        # Relaxed scheduling policies contribute their durable
+        # watermark (async-epoch's flushed-epoch register) so recovery
+        # can demote transactions from torn epochs.
+        scheduling = self.controller.policy.crash_metadata()
+        if scheduling is not None:
+            snapshot["metadata"]["scheduling"] = scheduling
         self.volatile = VolatileView(self.cfg.memory.capacity_bytes)
         return snapshot
 

@@ -256,6 +256,79 @@ def fig10_ideal_comparison(scale: float = 1.0,
 
 
 # ---------------------------------------------------------------------------
+# Scheduling-mode comparison (coalesced / async-epoch extensions)
+# ---------------------------------------------------------------------------
+
+#: The four modes of the documented consistency contract
+#: (``docs/scheduling-modes.md``); ``parallel``/``ideal`` are
+#: oracle-only and stay out of the headline comparison.
+CONTRACT_MODES = ("serialized", "coalesced", "async-epoch", "janus")
+
+
+def modes_comparison(scale: float = 1.0,
+                     modes: Tuple[str, ...] = CONTRACT_MODES,
+                     workloads: Optional[List[str]] = None,
+                     jobs: Optional[int] = None,
+                     progress=None) -> FigureResult:
+    """Four-mode scheduling comparison across every workload.
+
+    One row per workload: ns/transaction under each mode plus the
+    speedup of each relaxed/pre-executing mode over the serialized
+    baseline.  ``coalesced`` batches integrity-tree node charges
+    across overlapping writebacks; ``async-epoch`` defers durability
+    to epoch close (bounded by the staleness dial); ``janus`` is the
+    paper's pre-execution design.
+    """
+    workloads = workloads or ALL_WORKLOADS
+    params = _params(scale)
+    specs: List[PointSpec] = []
+    for name in workloads:
+        for mode in modes:
+            variant = "manual" if mode == "janus" else None
+            specs.append(((name, mode), dict(
+                workload=name, mode=mode, variant=variant,
+                params=params)))
+    points = _sweep_points(specs, jobs=jobs, progress=progress)
+    header = ["workload"]
+    header += [f"{m} ns/txn" for m in modes]
+    header += [f"{m} speedup" for m in modes if m != "serialized"]
+    table = Table(
+        "Scheduling modes: ns/transaction and speedup over serialized",
+        header)
+    data: Dict = {}
+    txns = params.n_transactions
+    for name in workloads:
+        ser = points[(name, "serialized")]
+        row: List = [name]
+        entry: Dict = {}
+        for mode in modes:
+            res = points[(name, mode)]
+            ns_per_txn = res.elapsed_ns / max(1, txns)
+            entry[mode] = {"elapsed_ns": res.elapsed_ns,
+                           "ns_per_txn": ns_per_txn}
+            row.append(ns_per_txn)
+        for mode in modes:
+            if mode == "serialized":
+                continue
+            s = speedup_over(ser, points[(name, mode)])
+            entry[mode]["speedup"] = s
+            row.append(s)
+        data[name] = entry
+        table.add_row(*row)
+    avg_row: List = ["avg"]
+    for mode in modes:
+        avg_row.append(arithmetic_mean(
+            [data[w][mode]["ns_per_txn"] for w in workloads]))
+    for mode in modes:
+        if mode == "serialized":
+            continue
+        avg_row.append(arithmetic_mean(
+            [data[w][mode]["speedup"] for w in workloads]))
+    table.add_row(*avg_row)
+    return FigureResult("modes", data=data, rendered=table.render())
+
+
+# ---------------------------------------------------------------------------
 # Fig. 11 — manual vs. automated instrumentation
 # ---------------------------------------------------------------------------
 

@@ -53,6 +53,12 @@ DEFAULT_WORKLOADS = ("array_swap", "queue", "hash_table")
 #: Cases per worker-process batch (amortizes fork cost).
 BATCH = 4
 
+#: Candidate-mode rotation for differential cases: every api/workload
+#: case diffs one of these against the serialized reference, cycling
+#: by case ordinal, so even a ``--quick`` (12-case) campaign covers
+#: the relaxed ``coalesced``/``async-epoch`` modes alongside janus.
+MODE_ROTATION = (("janus",), ("coalesced",), ("async-epoch",))
+
 #: Op kinds with generation weights.  ``stale`` and ``split`` are
 #: over-represented on purpose: they exercise IRB invalidation and
 #: merge re-filing, the §4.3.1 hazards.
@@ -128,22 +134,30 @@ def generate_cases(seed: int, count: int, max_ops: int = 16,
 
     Diet: mostly ``api`` cases, one ``irb`` lockstep trace per 5
     cases, and one small ``workload`` kernel per 7 (round-robin over
-    ``workloads``; pass an empty sequence to disable).
+    ``workloads``; pass an empty sequence to disable).  Differential
+    cases rotate their candidate mode through :data:`MODE_ROTATION`.
     """
     cases: List[FuzzCase] = []
+    diffed = 0
     for index in range(count):
         case_seed = seed * 1_000_003 + index
         if index % 5 == 4:
             cases.append(FuzzCase(
                 kind="irb", seed=case_seed,
                 params={"steps": 150, "addr_p": 0.55, "pre_ids": 3}))
-        elif workloads and index % 7 == 6:
+            continue
+        modes = MODE_ROTATION[diffed % len(MODE_ROTATION)]
+        diffed += 1
+        if workloads and index % 7 == 6:
             name = workloads[(index // 7) % len(workloads)]
             cases.append(FuzzCase(
                 kind="workload", seed=case_seed,
-                params={"workload": name, "txns": 5, "items": 10}))
+                params={"workload": name, "txns": 5, "items": 10,
+                        "modes": list(modes)}))
         else:
-            cases.append(generate_api_case(case_seed, max_ops=max_ops))
+            case = generate_api_case(case_seed, max_ops=max_ops)
+            case.params["modes"] = list(modes)
+            cases.append(case)
     return cases
 
 
@@ -187,7 +201,8 @@ def run_case(case: FuzzCase) -> Optional[Dict]:
     try:
         if case.kind == "api":
             check_mode_equivalence(
-                case.ops, modes=("janus",),
+                case.ops,
+                modes=tuple(case.params.get("modes", ("janus",))),
                 n_lines=case.params.get("n_lines", 8),
                 seed=case.seed % 1009, check=True,
                 threads=case.params.get("threads", 1))
@@ -201,7 +216,8 @@ def run_case(case: FuzzCase) -> Optional[Dict]:
             check_workload_equivalence(
                 case.params["workload"], seed=case.seed % 1009,
                 txns=case.params.get("txns", 5),
-                items=case.params.get("items", 10), check=True)
+                items=case.params.get("items", 10), check=True,
+                modes=tuple(case.params.get("modes", ("janus",))))
         else:
             raise ValueError(f"unknown case kind {case.kind!r}")
     except BaseException as error:  # noqa: BLE001 — classify, don't sink

@@ -60,8 +60,9 @@ def write_program(draw):
 @settings(max_examples=12, deadline=None)
 @given(ops=write_program())
 def test_all_modes_recover_identical_contents(ops):
-    check_mode_equivalence(ops, modes=("parallel", "janus", "ideal"),
-                           n_lines=N_LINES)
+    check_mode_equivalence(
+        ops, modes=("parallel", "janus", "ideal", "coalesced"),
+        n_lines=N_LINES)
 
 
 @settings(max_examples=8, deadline=None)

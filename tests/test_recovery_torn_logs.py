@@ -275,3 +275,113 @@ class TestScanReaderDamage:
         undone = state.rollback_undo_log(BASE, CAPACITY)
         assert undone == [1]
         assert BASE + 128 in state.torn_log_lines
+
+
+def epoch_state(lines, flushed=(), covered=()):
+    """A RecoveredState whose snapshot carries an async-epoch
+    watermark: committed transactions outside ``flushed`` are demoted
+    to uncommitted at scan time (docs/scheduling-modes.md)."""
+    metadata = {
+        "encryption": {
+            "counters": {addr: 0 for addr in covered}, "macs": {}},
+        "scheduling": {"mode": "async-epoch",
+                       "flushed_txns": list(flushed)},
+    }
+    return RecoveredState(dict(lines), metadata, verify_macs=True)
+
+
+class TestTornEpochRecovery:
+    """async-epoch watermark demotion over synthetic images.
+
+    A commit record is only *provisionally* durable until its epoch
+    has flushed; recovery must land on the last closed-and-flushed
+    epoch boundary, never between epochs.
+    """
+
+    def test_unflushed_committed_txn_is_demoted_and_rolled_back(self):
+        # txn 1 flushed (inside the watermark), txn 2's epoch was torn
+        # mid-flush: its commit record is durable but the watermark
+        # excludes it, so it must roll back to the epoch boundary.
+        lines = {
+            BASE: backup(1, TARGET_A, OLD_A),
+            BASE + 64: OLD_A,
+            BASE + 128: pack_record(_COMMIT_MAGIC, 1, 0, 0),
+            BASE + 192: backup(2, TARGET_B, OLD_B),
+            BASE + 256: OLD_B,
+            BASE + 320: pack_record(_COMMIT_MAGIC, 2, 0, 0),
+            TARGET_A: NEW_A,
+            TARGET_B: NEW_B,
+        }
+        state = epoch_state(lines, flushed=(1,))
+        undone = state.rollback_undo_log(BASE, CAPACITY)
+        assert undone == [2]
+        assert state.demoted_txns == [2]
+        assert state.committed_txns == [1]
+        assert state.read(TARGET_A, 64) == NEW_A  # survives: flushed
+        assert state.read(TARGET_B, 64) == OLD_B  # demoted: restored
+
+    def test_fully_flushed_epochs_demote_nothing(self):
+        lines = {
+            BASE: backup(1, TARGET_A, OLD_A),
+            BASE + 64: OLD_A,
+            BASE + 128: pack_record(_COMMIT_MAGIC, 1, 0, 0),
+            TARGET_A: NEW_A,
+        }
+        state = epoch_state(lines, flushed=(1,))
+        assert state.rollback_undo_log(BASE, CAPACITY) == []
+        assert state.demoted_txns == []
+        assert state.committed_txns == [1]
+        assert state.read(TARGET_A, 64) == NEW_A
+
+    def test_torn_backup_of_demoted_txn_refuses(self):
+        # The torn-backup shortcut ("committed means the old values
+        # are never needed") must not apply once the commit itself is
+        # demoted: the demoted txn *needs* that backup to reach the
+        # epoch boundary.  Header CRC is intact but the payload line
+        # does not match its recorded CRC.
+        lines = {
+            BASE: backup(2, TARGET_B, OLD_B),
+            BASE + 64: GARBAGE.ljust(CACHE_LINE_BYTES, b"\x00"),
+            BASE + 128: pack_record(_COMMIT_MAGIC, 2, 0, 0),
+            TARGET_B: NEW_B,
+        }
+        state = epoch_state(lines, flushed=())
+        with pytest.raises(RecoveryError,
+                           match="demoted by the epoch watermark"):
+            state.rollback_undo_log(BASE, CAPACITY)
+
+    def test_commit_beyond_damage_demoted_txn_rolls_back(self):
+        # Without a watermark this shape hard-fails (the commit fenced
+        # on every earlier record, so the gap means ADR failed).  With
+        # the commit's transaction *outside* the watermark, the epoch
+        # was torn mid-flush and the damage is an ordinary torn tail:
+        # the transaction is demoted regardless, so roll it back.
+        commit_addr = BASE + 192
+        lines = {
+            BASE: backup(1, TARGET_A, OLD_A),
+            BASE + 64: OLD_A,
+            BASE + 128: GARBAGE,
+            commit_addr: pack_record(_COMMIT_MAGIC, 1, 0, 0),
+            TARGET_A: NEW_A,
+        }
+        state = epoch_state(lines, flushed=(), covered=(commit_addr,))
+        undone = state.rollback_undo_log(BASE, CAPACITY)
+        assert undone == [1]
+        assert state.read(TARGET_A, 64) == OLD_A
+
+    def test_commit_beyond_damage_inside_watermark_still_refuses(self):
+        # The watermark says this epoch fully flushed, so the
+        # persist-domain guarantee really did fail — same refusal as
+        # the unscheduled case.
+        commit_addr = BASE + 192
+        lines = {
+            BASE: backup(1, TARGET_A, OLD_A),
+            BASE + 64: OLD_A,
+            BASE + 128: GARBAGE,
+            commit_addr: pack_record(_COMMIT_MAGIC, 1, 0, 0),
+            TARGET_A: NEW_A,
+        }
+        state = epoch_state(lines, flushed=(1,),
+                            covered=(commit_addr,))
+        with pytest.raises(RecoveryError, match="damaged log line"):
+            state.rollback_undo_log(BASE, CAPACITY)
