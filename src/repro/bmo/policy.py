@@ -41,6 +41,7 @@ torn (partially-flushed) epoch — see
 ``repro.consistency.recovery.RecoveredState.rollback_undo_log``.
 """
 
+import itertools
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import SimulationError
@@ -127,7 +128,9 @@ class JanusPolicy(SchedulingPolicy):
     name = "janus"
 
     def run_bmos(self, thread_id, line_addr, data):
-        ctx, _fully = yield from self.system.janus.service_write(
+        # This controller's own engine: on the sharded machine each
+        # shard pre-executes (and IRB-matches) only lines it owns.
+        ctx, _fully = yield from self.controller.janus.service_write(
             thread_id, line_addr, data)
         return ctx
 
@@ -168,6 +171,32 @@ class IdealPolicy(SchedulingPolicy):
         yield from self.controller._persist(ctx, critical)
 
 
+class TimingPolicyMux:
+    """Route the executor's timing hook across sharded policies.
+
+    ``BmoExecutor.timing_policy`` is a single slot; the sharded
+    coalesced machine hangs this mux there and each shard's
+    :class:`CoalescedPolicy` registers under its shard id.  Contexts
+    are routed by the line address they operate on, which is the same
+    key the writeback itself was routed by — so a shard's batch ledger
+    only ever sees its own traffic.
+    """
+
+    def __init__(self, router):
+        self.router = router
+        #: shard id -> policy exposing ``adjust_timing``.
+        self.policies: Dict[int, "CoalescedPolicy"] = {}
+
+    def adjust_timing(self, name: str, ctx, total: int,
+                      occupancy: int) -> Tuple[int, int]:
+        if ctx.addr is None:
+            return total, occupancy
+        policy = self.policies.get(self.router.shard_of(ctx.addr))
+        if policy is None:
+            return total, occupancy
+        return policy.adjust_timing(name, ctx, total, occupancy)
+
+
 class CoalescedPolicy(ParallelPolicy):
     """Write-queue-level Merkle path coalescing (Freij et al.).
 
@@ -202,11 +231,24 @@ class CoalescedPolicy(ParallelPolicy):
         self._inflight = 0
         #: (sub-op, node index) -> batch id that already paid for it.
         self._charged: Dict[Tuple[str, int], int] = {}
-        stats = self.system.metrics.scope("sched")
+        stats = self.system.metrics.scope(
+            self.system.scope_name("sched", controller.shard_id))
         self._c_batches = stats.counter("coalesce_batches")
         self._c_coalesced = stats.counter("coalesced_node_updates")
         self._c_charged = stats.counter("charged_node_updates")
-        self.system.executor.timing_policy = self
+        # The executor exposes a single timing hook.  Unsharded: this
+        # policy installs itself directly (legacy).  Sharded: all the
+        # per-shard policies share one mux that routes each context to
+        # the policy of the shard owning its line, so batching (and
+        # the coalescing discount) stays per-controller.
+        if self.cfg.shards == 1:
+            self.system.executor.timing_policy = self
+        else:
+            mux = self.system.executor.timing_policy
+            if not isinstance(mux, TimingPolicyMux):
+                mux = TimingPolicyMux(self.system.router)
+                self.system.executor.timing_policy = mux
+            mux.policies[controller.shard_id] = self
 
     def writeback(self, thread_id, line_addr, data, critical, start):
         if self._inflight == 0:
@@ -238,10 +280,96 @@ class CoalescedPolicy(ParallelPolicy):
         return total, occupancy
 
 
+class TxnOrderCoordinator:
+    """Cross-shard write-ahead ordering for async-epoch flushers.
+
+    One instance per sharded async-epoch machine (``shards > 1``),
+    shared by every shard's :class:`AsyncEpochPolicy`.  Each buffered
+    write is tagged with a global sequence number at buffer time
+    (:meth:`tag`); before a flusher persists a write it calls
+    :meth:`wait_turn`, which blocks until every *earlier* write of the
+    same transaction — on any shard — has reached the persist domain.
+    That restores the write-ahead property the single-shard sequential
+    flusher gives for free: a transaction's undo backup can never
+    still be volatile while its in-place data write is already
+    durable, so torn-epoch demotion stays possible.
+
+    Blocking a flusher on a write that is still sitting in another
+    shard's *open* epoch would deadlock if that shard never fills its
+    epoch again, so :meth:`wait_turn` also *demands* the close of any
+    open epoch holding an earlier write of the transaction.  Deadlock
+    freedom follows by induction on the global sequence: the smallest
+    unpersisted sequence a flusher waits on is, by construction, at
+    the head of its transaction's queue, every write before it on its
+    own shard is already persisted, and the demand guarantees its
+    epoch is (or becomes) closed — so its flusher can always reach and
+    persist it.
+
+    Writes outside any transaction (``txn == 0``) are not ordered —
+    they carry no undo semantics.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        #: Every shard's AsyncEpochPolicy (self-registered).
+        self.policies: List["AsyncEpochPolicy"] = []
+        self._seq = itertools.count(1)
+        #: txn -> globally-ordered sequence numbers of its buffered,
+        #: not-yet-persisted writes (across all shards).
+        self._pending: Dict[int, List[int]] = {}
+        #: txn -> flusher gates waiting for its head to advance.
+        self._gates: Dict[int, List] = {}
+
+    def tag(self, txn: int) -> int:
+        """Assign the next global sequence to a buffered write."""
+        seq = next(self._seq)
+        if txn:
+            self._pending.setdefault(txn, []).append(seq)
+        return seq
+
+    def wait_turn(self, txn: int, seq: int):
+        """Process: block until ``seq`` heads its transaction's queue."""
+        if not txn:
+            return
+        queue = self._pending.get(txn)
+        while queue and queue[0] != seq:
+            # The blocking write may still be in another shard's open
+            # epoch; demand it be sealed so that shard's flusher can
+            # reach it (the demand may transiently push that shard one
+            # epoch past its staleness bound — see docs/sharding.md).
+            for policy in self.policies:
+                policy.demand_close(txn, seq)
+            gate = self.sim.event("txn-order")
+            self._gates.setdefault(txn, []).append(gate)
+            yield gate
+
+    def mark_persisted(self, txn: int, seq: int) -> None:
+        """A write of ``txn`` reached the persist domain."""
+        if not txn:
+            return
+        queue = self._pending.get(txn)
+        if queue is not None:
+            try:
+                queue.remove(seq)
+            except ValueError:  # pragma: no cover - tag/mark pair
+                pass
+            if not queue:
+                self._pending.pop(txn, None)
+        for gate in self._gates.pop(txn, []):
+            gate.succeed()
+
+    def unsafe_txns(self) -> Set[int]:
+        """Transactions with any unpersisted buffered write, anywhere."""
+        return {txn for txn, seqs in self._pending.items() if seqs}
+
+
 class AsyncEpochPolicy(SchedulingPolicy):
     """Vilamb-style epoch-batched BMO scheduling with bounded
     staleness.  See the module docstring and
-    ``docs/scheduling-modes.md`` for the durability contract."""
+    ``docs/scheduling-modes.md`` for the durability contract; the
+    sharded extension (per-shard epochs and watermarks, cross-shard
+    write-ahead ordering, the merged consistent cut) is documented in
+    ``docs/sharding.md``."""
 
     name = "async-epoch"
     durable_at_sfence = False
@@ -252,10 +380,13 @@ class AsyncEpochPolicy(SchedulingPolicy):
         self.epoch_writes = sched.epoch_writes
         self.staleness_epochs = sched.staleness_epochs
         self._buffer_ns = sched.buffer_ns
-        #: Open epoch: (thread_id, line_addr, data, critical) in
-        #: buffer order — which respects each core's fence order,
-        #: because a fence only retires once its writes are buffered.
-        self._open: List[Tuple[int, int, bytes, bool]] = []
+        #: Open epoch: (thread_id, line_addr, data, critical, txn,
+        #: seq) in buffer order — which respects each core's fence
+        #: order, because a fence only retires once its writes are
+        #: buffered.  ``txn`` is the issuing core's transaction at
+        #: buffer time; ``seq`` the global buffer sequence (0 when no
+        #: coordinator — the single-shard machine needs neither).
+        self._open: List[Tuple[int, int, bytes, bool, int, int]] = []
         #: Transactions whose commit record was buffered into the
         #: open epoch (critical writes carry the commit records).
         self._open_txns: Set[int] = set()
@@ -272,7 +403,13 @@ class AsyncEpochPolicy(SchedulingPolicy):
         self._flushed_txns: Set[int] = set()
         self._epochs_closed = 0
         self._epochs_flushed = 0
-        stats = self.system.metrics.scope("sched")
+        #: Shared cross-shard write-ahead coordinator (``None`` on the
+        #: single-shard machine).
+        self._coordinator = self.system.txn_coordinator
+        if self._coordinator is not None:
+            self._coordinator.policies.append(self)
+        stats = self.system.metrics.scope(
+            self.system.scope_name("sched", controller.shard_id))
         self._c_buffered = stats.counter("epoch_buffered_writes")
         self._c_epochs_closed = stats.counter("epochs_closed")
         self._c_epochs_flushed = stats.counter("epochs_flushed")
@@ -283,7 +420,8 @@ class AsyncEpochPolicy(SchedulingPolicy):
         mc = self.controller
         # Bounded staleness: stall while the maximum number of closed
         # epochs is still awaiting flush.  The invariant afterwards:
-        # closed - flushed <= staleness_epochs at every instant.
+        # closed - flushed <= staleness_epochs at every instant (a
+        # cross-shard demand-close may transiently add one epoch).
         while self._epochs_closed - self._epochs_flushed \
                 >= self.staleness_epochs:
             self._c_stalls.add()
@@ -291,15 +429,17 @@ class AsyncEpochPolicy(SchedulingPolicy):
             self._stall_gates.append(gate)
             yield gate
         yield self.sim.delay(self._buffer_ns)
-        self._open.append((thread_id, line_addr, data, critical))
+        txn = self.system.cores[thread_id].current_txn_id
+        seq = self._coordinator.tag(txn) \
+            if self._coordinator is not None else 0
+        self._open.append((thread_id, line_addr, data, critical,
+                           txn, seq))
         self._c_buffered.add()
-        if critical:
+        if critical and txn:
             # Critical writebacks carry transaction commit records;
             # remember the owning transaction so the watermark can
             # promote it when this epoch is fully durable.
-            txn = self.system.cores[thread_id].current_txn_id
-            if txn:
-                self._open_txns.add(txn)
+            self._open_txns.add(txn)
         now = self.sim.now
         mc._h_critical_write.observe(now - start)
         mc._trace(thread_id, line_addr, start, now, now, now, critical)
@@ -321,21 +461,37 @@ class AsyncEpochPolicy(SchedulingPolicy):
             self._flusher = self.sim.process(self._flush(),
                                              name="epoch-flush")
 
+    def demand_close(self, txn: int, before_seq: int) -> None:
+        """Coordinator callback: seal the open epoch if it holds an
+        earlier write of ``txn`` that another shard's flusher is
+        blocked on."""
+        for entry in self._open:
+            if entry[4] == txn and entry[5] < before_seq:
+                self._close_epoch()
+                return
+
     def _flush(self):
         """Background process: replay closed epochs, oldest first,
         through the normal per-write BMO/persist path.  Strictly
         sequential, so the persist domain always holds a *prefix* of
-        the buffered write stream — the property torn-epoch recovery
-        stands on."""
+        this shard's buffered write stream — the property torn-epoch
+        recovery stands on.  On the sharded machine each write also
+        waits its cross-shard turn within its transaction before
+        persisting (write-ahead across shards)."""
         mc = self.controller
+        coord = self._coordinator
         while self._closed:
             writes, txns = self._closed[0]
             start = self.sim.now
-            for thread_id, line_addr, data, critical in writes:
+            for thread_id, line_addr, data, critical, txn, seq in writes:
                 ctx = self.system.pipeline.make_context(
                     addr=line_addr, data=data)
                 yield from self.system.executor.run_subops(ctx)
+                if coord is not None:
+                    yield from coord.wait_turn(txn, seq)
                 yield from mc._persist(ctx, critical)
+                if coord is not None:
+                    coord.mark_persisted(txn, seq)
             # Everything in this epoch is accepted into the ADR
             # domain: advance the durable watermark atomically (no
             # yield between the last persist and this update).
@@ -354,6 +510,15 @@ class AsyncEpochPolicy(SchedulingPolicy):
         # durable and its final image matches the strict modes.
         self._close_epoch()
 
+    def known_txns(self) -> Set[int]:
+        """Every transaction whose commit record this shard has seen
+        (buffered, awaiting flush, or watermarked) — the id universe
+        the merged consistent cut walks."""
+        txns = set(self._flushed_txns) | set(self._open_txns)
+        for _writes, epoch_txns in self._closed:
+            txns |= epoch_txns
+        return txns
+
     def crash_metadata(self) -> Dict:
         return {
             "mode": self.name,
@@ -363,6 +528,55 @@ class AsyncEpochPolicy(SchedulingPolicy):
             "epochs_flushed": self._epochs_flushed,
             "flushed_txns": sorted(self._flushed_txns),
         }
+
+
+def merge_crash_metadata(policies, coordinator) -> Optional[Dict]:
+    """Merge per-shard policy crash metadata into one scheduling dict.
+
+    ``shards=1``: the single policy's dict (or ``None``), verbatim —
+    recovery sees exactly the pre-sharding snapshot.
+
+    Sharded async-epoch: the merged ``flushed_txns`` is the **minimum
+    cross-shard consistent cut** — the longest prefix, in transaction
+    id order over every transaction any shard has seen, of
+    transactions that are watermarked on the shard holding their
+    commit record *and* have no unpersisted write on any shard.  A
+    transaction failing either test is demoted, and so is everything
+    after it (a later transaction may depend on its state); demotion
+    is always possible because the write-ahead coordinator persisted
+    undo backups before data.  Legacy keys keep their meaning
+    (``epochs_closed``/``epochs_flushed`` become totals) so
+    ``repro.consistency.recovery`` is topology-blind; the per-shard
+    detail rides along under ``per_shard``.
+    """
+    metas = [policy.crash_metadata() for policy in policies]
+    if len(metas) == 1:
+        return metas[0]
+    if all(meta is None for meta in metas):
+        return None
+    flushed: Set[int] = set()
+    known: Set[int] = set()
+    for policy in policies:
+        flushed |= policy._flushed_txns
+        known |= policy.known_txns()
+    unsafe = coordinator.unsafe_txns() if coordinator is not None \
+        else set()
+    candidate = flushed - unsafe
+    cut = []
+    for txn in sorted(known | unsafe):
+        if txn not in candidate:
+            break
+        cut.append(txn)
+    return {
+        "mode": metas[0]["mode"],
+        "epoch_writes": metas[0]["epoch_writes"],
+        "staleness_epochs": metas[0]["staleness_epochs"],
+        "epochs_closed": sum(m["epochs_closed"] for m in metas),
+        "epochs_flushed": sum(m["epochs_flushed"] for m in metas),
+        "flushed_txns": cut,
+        "shards": len(metas),
+        "per_shard": metas,
+    }
 
 
 POLICIES = {

@@ -110,6 +110,9 @@ FIGURES = {
     "modes": lambda scale, jobs, progress:
         experiments.modes_comparison(
             scale=scale, jobs=jobs, progress=progress),
+    "shards": lambda scale, jobs, progress:
+        experiments.shards_sweep(
+            scale=scale, jobs=jobs, progress=progress),
     "overhead": _static(experiments.overhead_analysis),
     "composition": lambda scale, jobs, progress:
         experiments.bmo_composition(
@@ -131,6 +134,14 @@ def _add_log_arg(parser) -> None:
         "--log", metavar="PATH", default=None,
         help="write a structured JSONL run log (repro.obs.log); "
              "$REPRO_LOG sets the default")
+
+
+def _add_shards_arg(parser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="memory-controller shards (power of two; docs/"
+             "sharding.md).  1 is the classic single-controller "
+             "machine, bit for bit")
 
 
 def _add_scheduler_arg(parser) -> None:
@@ -184,6 +195,10 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--force", action="store_true",
                         help="overwrite --out even when the existing "
                              "file is not a previous render")
+    figure.add_argument("--shards", default=None, metavar="N,N",
+                        help="shard counts for the 'shards' figure "
+                             "(comma-separated, default 1,2,4); "
+                             "rejected for other figures")
     _add_jobs_arg(figure)
 
     def add_workload_args(p, modes=True):
@@ -212,11 +227,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="simulate one design point")
     add_workload_args(run)
+    _add_shards_arg(run)
     run.add_argument("--trace", metavar="PATH", default=None,
                      help="write a Perfetto-loadable Chrome trace-event"
                           " JSON timeline of the run")
     run.add_argument("--stats", metavar="PATH", default=None,
                      help="write the full metrics snapshot as JSON")
+    run.add_argument("--digest", metavar="PATH", default=None,
+                     help="after the run: crash, recover, and write "
+                          "the recovered-structure digest as canonical "
+                          "JSON (repro-digest-v1) — topology-blind, so "
+                          "equivalent runs at any --shards width "
+                          "produce identical bytes (docs/sharding.md)")
     run.add_argument("--check", action="store_true",
                      help="run the cross-layer invariant checkers "
                           "(repro.validate) after every BMO-pipeline "
@@ -352,6 +374,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "DIR/CRASHTEST_<date>.json)")
     crashtest.add_argument("--no-write", action="store_true",
                            help="do not write the report JSON")
+    _add_shards_arg(crashtest)
     _add_jobs_arg(crashtest)
     _add_log_arg(crashtest)
 
@@ -380,6 +403,7 @@ def _build_parser() -> argparse.ArgumentParser:
                            "DIR/SOAK_<date>.json)")
     soak.add_argument("--no-write", action="store_true",
                       help="do not write the report JSON")
+    _add_shards_arg(soak)
     _add_jobs_arg(soak)
     _add_log_arg(soak)
 
@@ -405,6 +429,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--replay", default=None, metavar="PATH",
                       help="re-run a minimized repro file instead of "
                            "fuzzing")
+    _add_shards_arg(fuzz)
     _add_jobs_arg(fuzz)
     _add_log_arg(fuzz)
     return parser
@@ -437,9 +462,20 @@ def cmd_figures(_args) -> int:
 
 
 def cmd_figure(args) -> int:
-    result = FIGURES[args.name](
-        args.scale, args.jobs,
-        _progress_for(args, f"figure {args.name}"))
+    if args.shards is not None and args.name != "shards":
+        print("--shards only applies to `repro figure shards`",
+              file=sys.stderr)
+        return 2
+    if args.name == "shards" and args.shards is not None:
+        counts = tuple(int(n) for n in args.shards.split(",")
+                       if n.strip())
+        result = experiments.shards_sweep(
+            scale=args.scale, shards=counts, jobs=args.jobs,
+            progress=_progress_for(args, "figure shards"))
+    else:
+        result = FIGURES[args.name](
+            args.scale, args.jobs,
+            _progress_for(args, f"figure {args.name}"))
     rendered = [result.rendered]
     print(result.rendered)
     if getattr(args, "chart", False):
@@ -488,6 +524,8 @@ def cmd_run(args) -> int:
                            sampler=sampler,
                            check_invariants=args.check,
                            scheduler=args.scheduler or "",
+                           shards=args.shards,
+                           with_digest=args.digest is not None,
                            **_scheduling_overrides(args))
     except Exception as error:
         from repro.validate import InvariantViolation
@@ -519,6 +557,22 @@ def cmd_run(args) -> int:
         with open(ensure_parent(args.stats), "w") as handle:
             json.dump(result.snapshot, handle, indent=2, sort_keys=True)
         print(f"  stats snapshot -> {args.stats}")
+    if args.digest:
+        from repro.harness.report import ensure_parent
+        payload = {
+            "schema": "repro-digest-v1",
+            "workload": result.workload,
+            "mode": result.mode,
+            "variant": result.variant,
+            "cores": result.cores,
+            "transactions": result.transactions,
+            "elapsed_ns": result.elapsed_ns,
+            "digest": result.digest,
+        }
+        with open(ensure_parent(args.digest), "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  recovered-structure digest -> {args.digest}")
     if sampler is not None:
         sampler.write_jsonl(args.timeseries_out)
         print(f"  timeseries: {len(sampler.samples)} samples every "
@@ -823,6 +877,7 @@ def cmd_crashtest(args) -> int:
 
     config = cc.quick_config(seed=args.seed) if args.quick \
         else cc.CampaignConfig(seed=args.seed)
+    config.shards = args.shards
     if args.points is not None:
         config.points = args.points
     if args.workloads:
@@ -857,6 +912,7 @@ def cmd_soak(args) -> int:
 
     config = sk.quick_config(seed=args.seed) if args.quick \
         else sk.SoakConfig(seed=args.seed)
+    config.shards = args.shards
     if args.cycles is not None:
         config.cycles = args.cycles
     if args.workloads:
@@ -915,7 +971,7 @@ def cmd_fuzz(args) -> int:
     report = fz.run_fuzz(
         cases=cases, seed=args.seed, max_ops=args.max_ops,
         jobs=args.jobs, workloads=workloads, out_dir=args.dir,
-        write=not args.no_write,
+        write=not args.no_write, shards=args.shards,
         progress=_progress_for(args, "fuzz"))
     print(fz.render_report(report))
     if not args.no_write and report["failures"]:

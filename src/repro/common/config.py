@@ -19,10 +19,34 @@ Paper defaults (Table 3):
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 from repro.common.errors import ConfigError
 from repro.common.units import CACHE_LINE_BYTES, KIB, MIB
+
+
+class ShardingError(ConfigError):
+    """Sharding parameters failed construction-time validation.
+
+    Mirrors :class:`repro.faults.plan.FaultPlanError`: ``problems``
+    holds one dict per defect (``{"field": name, "detail": message}``)
+    and the aggregated message lists every problem, so a caller that
+    got three knobs wrong learns all three at once instead of playing
+    whack-a-mole.
+    """
+
+    def __init__(self, problems: List[Dict]):
+        self.problems = list(problems)
+        detail = "; ".join(f"{p['field']}: {p['detail']}"
+                           for p in self.problems)
+        super().__init__(
+            f"invalid sharding config ({len(self.problems)} problem"
+            f"{'s' if len(self.problems) != 1 else ''}): {detail}")
+
+
+def _is_power_of_two(value: int) -> bool:
+    return isinstance(value, int) and value > 0 \
+        and value & (value - 1) == 0
 
 
 def _quantize_ns_fields(cfg) -> None:
@@ -267,6 +291,16 @@ class SystemConfig:
     #: Write-path scheduling mode: serialized | parallel | janus |
     #: ideal | coalesced | async-epoch (docs/scheduling-modes.md).
     mode: str = "janus"
+    #: Memory-controller shards (power of two).  1 keeps the classic
+    #: single-controller machine, bit-identical to the pre-sharding
+    #: system; N > 1 interleaves line addresses across N controllers,
+    #: each with its own write queue, NVM channel group, scheduling
+    #: policy, and (in janus mode) IRB — see ``docs/sharding.md``.
+    shards: int = 1
+    #: Interleave granularity of the shard address map, in bytes
+    #: (power of two, >= the cache-line size).  Consecutive
+    #: ``shard_interleave_bytes`` stripes rotate across shards.
+    shard_interleave_bytes: int = CACHE_LINE_BYTES
     core: CoreConfig = field(default_factory=CoreConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
@@ -315,6 +349,7 @@ class SystemConfig:
             raise ConfigError(
                 f"scheduler must be one of {self.SCHEDULERS}, "
                 f"got {self.scheduler!r}")
+        self._validate_sharding()
         _quantize_ns_fields(self.core)
         _quantize_ns_fields(self.cache)
         _quantize_ns_fields(self.memory)
@@ -340,6 +375,38 @@ class SystemConfig:
         self.janus.validate()
         self.scheduling.validate()
         return self
+
+    def _validate_sharding(self) -> None:
+        """Collect *every* sharding defect into one ShardingError."""
+        problems: List[Dict] = []
+        if not _is_power_of_two(self.shards):
+            problems.append({
+                "field": "shards",
+                "detail": f"must be a power of two >= 1, "
+                          f"got {self.shards!r}"})
+        if not _is_power_of_two(self.shard_interleave_bytes):
+            problems.append({
+                "field": "shard_interleave_bytes",
+                "detail": f"must be a power of two, "
+                          f"got {self.shard_interleave_bytes!r}"})
+        elif self.shard_interleave_bytes < CACHE_LINE_BYTES:
+            problems.append({
+                "field": "shard_interleave_bytes",
+                "detail": f"must be >= the cache line "
+                          f"({CACHE_LINE_BYTES} B), "
+                          f"got {self.shard_interleave_bytes}"})
+        if not problems and isinstance(self.shards, int) \
+                and self.shards > 0:
+            stripe = self.shard_interleave_bytes * self.shards
+            if self.memory.capacity_bytes % stripe:
+                problems.append({
+                    "field": "shards",
+                    "detail": f"capacity {self.memory.capacity_bytes} "
+                              f"is not a multiple of the full stripe "
+                              f"({stripe} B = interleave x shards), so "
+                              f"coverage cannot balance"})
+        if problems:
+            raise ShardingError(problems)
 
     def replace(self, **kwargs) -> "SystemConfig":
         """Return a deep-ish copy with top-level fields replaced."""

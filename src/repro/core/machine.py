@@ -1,4 +1,16 @@
-"""Cores, the memory controller, and the assembled NVM system."""
+"""Cores, the memory controller(s), and the assembled NVM system.
+
+The machine supports N-way sharded memory controllers
+(``SystemConfig.shards``): line addresses interleave across shards via
+:class:`repro.mem.shard.ShardRouter`, and each shard owns its own
+write queue, NVM channel group, scheduling policy, and (in janus mode)
+pre-execution engine + IRB.  One functional memory, one BMO pipeline
+(dedup table / counters / Merkle tree), and one BMO-unit pool stay
+global — they model chip-wide metadata structures.  ``shards=1``
+constructs exactly the classic single-controller machine (same scope
+names, same event order), bit-identical to the pre-sharding system.
+The full contract is documented in ``docs/sharding.md``.
+"""
 
 import itertools
 from typing import Dict, List, Optional
@@ -17,6 +29,7 @@ from repro.mem.cache import CacheModel
 from repro.mem.heap import NvmHeap
 from repro.mem.memory import FunctionalMemory, VolatileView
 from repro.mem.nvm_device import NvmDevice
+from repro.mem.shard import ShardRouter
 from repro.mem.write_queue import WriteEntry, WriteQueue
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
@@ -42,11 +55,19 @@ class MemoryController:
     #: Line in the metadata region used to model metadata writebacks.
     METADATA_REGION_LINES = 1 << 14
 
-    def __init__(self, system: "NvmSystem"):
+    def __init__(self, system: "NvmSystem", shard_id: int = 0):
         self.system = system
         self.sim = system.sim
         self.cfg = system.cfg
-        self.stats = system.metrics.scope("mc")
+        self.shard_id = shard_id
+        #: This shard's slice of the memory substrate.  On the
+        #: unsharded machine these are the system-wide singletons.
+        self.device = system.devices[shard_id]
+        self.write_queue = system.write_queues[shard_id]
+        self.janus = system.janus_engines[shard_id] \
+            if system.janus_engines else None
+        self.stats = system.metrics.scope(system.scope_name("mc",
+                                                            shard_id))
         # Hot metric handles: resolved once, not per writeback.
         self._c_writebacks = self.stats.counter("writebacks")
         self._h_critical_write = \
@@ -168,8 +189,14 @@ class MemoryController:
             entry = WriteEntry(
                 addr=action.device_addr, data=action.payload,
                 on_drain=self._drain_to_nvm)
+            # Route by the *device* address: dedup may have redirected
+            # the payload to a shadow line on another shard, making
+            # this a cross-shard transaction — the sfence barrier
+            # below (``accepts`` joined by the caller) spans every
+            # controller touched.
+            queue = system.write_queue_for(action.device_addr)
             accepts.append(self.sim.process(
-                system.write_queue.accept(entry), name="accept-data"))
+                queue.accept(entry), name="accept-data"))
         else:
             self._c_dedup_cancelled.add()
         for i in range(action.metadata_lines):
@@ -186,8 +213,9 @@ class MemoryController:
             meta_entry = WriteEntry(addr=meta_addr,
                                     data=bytes(CACHE_LINE_BYTES),
                                     metadata={"kind": "metadata"})
-            proc = self.sim.process(system.write_queue.accept(meta_entry),
-                                    name="accept-meta")
+            proc = self.sim.process(
+                system.write_queue_for(meta_addr).accept(meta_entry),
+                name="accept-meta")
             accepts.append(proc)
             self._c_metadata_atomic_waits.add()
         if accepts:
@@ -201,6 +229,56 @@ class MemoryController:
 
     def _drain_to_nvm(self, entry: WriteEntry) -> None:
         self.system.nvm.write_line(entry.addr, entry.data)
+
+
+class ShardedJanusFrontend:
+    """Software-visible face of N per-shard Janus engines.
+
+    Cores hold one :class:`repro.janus.api.JanusInterface`, which
+    expects a single engine; on the sharded machine that "engine" is
+    this frontend.  Requests with an address fan out to every engine
+    whose shard owns at least one line of the request span (each
+    engine's ``owns`` filter keeps only its slice of the decoded
+    operations); data-only requests — whose lines are unknown until
+    the write arrives — broadcast to every engine, because any shard
+    may receive the eventual write (unconsumed duplicates age out or
+    clear with the thread, exactly like any unmatched entry).
+    Lifecycle calls broadcast.
+    """
+
+    def __init__(self, system: "NvmSystem"):
+        self.system = system
+        self.engines = system.janus_engines
+        self.router = system.router
+
+    def submit(self, request) -> None:
+        if request.addr is None:
+            for engine in self.engines:
+                engine.submit(request)
+            return
+        size = request.size or (len(request.data) if request.data
+                                else 0)
+        touched = []
+        for line in line_span(request.addr, max(size, 1)):
+            shard = self.router.shard_of(line)
+            if shard not in touched:
+                touched.append(shard)
+        for shard in touched:
+            self.engines[shard].submit(request)
+
+    def start_buffered(self, pre_id: int, thread_id: int) -> int:
+        released = 0
+        for engine in self.engines:
+            released += engine.start_buffered(pre_id, thread_id)
+        return released
+
+    def clear_thread(self, thread_id: int) -> None:
+        for engine in self.engines:
+            engine.clear_thread(thread_id)
+
+    def on_memory_swap(self, lo: int, hi: int) -> None:
+        for engine in self.engines:
+            engine.on_memory_swap(lo, hi)
 
 
 class Core:
@@ -217,7 +295,7 @@ class Core:
         self.current_txn_id = 0
         self.api = JanusInterface(
             self.sim,
-            system.janus if self.cfg.mode == "janus" else None,
+            system.janus_frontend if self.cfg.mode == "janus" else None,
             thread_id=core_id,
             transaction_id_provider=lambda: self.current_txn_id,
             issue_cost_ns=2 * self.cfg.core.instruction_ns * 4,
@@ -247,15 +325,17 @@ class Core:
         by the memory controller's counter cache.
         """
         stream_ns = self.cfg.core.stream_line_ns
-        controller = self.system.controller
+        system = self.system
         latency = 0.0
         for index, line in enumerate(line_span(addr, size)):
             cost, level = self.cache.access_with_level(line)
             streamed = index > 0
             latency += min(cost, stream_ns) if streamed else cost
             if is_read and level == "mem":
-                latency += controller.read_decrypt_penalty_ns(
-                    line, streamed=streamed)
+                # The owning shard's controller holds this line's
+                # counter-cache entry.
+                latency += system.controller_for(line) \
+                    .read_decrypt_penalty_ns(line, streamed=streamed)
         return latency
 
     # -- loads / stores -----------------------------------------------------
@@ -280,8 +360,12 @@ class Core:
         the next :meth:`sfence`.
         """
         for line in line_span(addr, size):
+            # Route each line to its owning shard's controller; a
+            # transaction touching several shards accumulates pending
+            # writebacks on all of them, and the next sfence becomes
+            # a barrier over every controller touched.
             proc = self.sim.process(
-                self.system.controller.writeback(
+                self.system.controller_for(line).writeback(
                     self.core_id, line, critical=critical),
                 name="clwb")
             self._outstanding.append(proc)
@@ -304,6 +388,12 @@ class Core:
                     start_ns=start, dur_ns=stall,
                     args={"writebacks": len(pending)})
         self._c_fences.add()
+        if self.system.checker is not None:
+            # Cross-shard sfence barrier: every controller this fence
+            # waited on must agree the fence's durability contract
+            # holds (strict shards: nothing pending for this core;
+            # async-epoch shards: staleness debt within bound).
+            self.system.checker.check_sfence(self.core_id)
 
     def persist(self, addr: int, size: int, critical: bool = False):
         """clwb + sfence convenience."""
@@ -327,11 +417,37 @@ class NvmSystem:
         capacity = config.memory.capacity_bytes
         self.nvm = FunctionalMemory(capacity)
         self.volatile = VolatileView(capacity)
-        self.device = NvmDevice(self.sim, config.memory,
-                                stats=self.metrics.scope("nvm"))
-        self.write_queue = WriteQueue(self.sim, config.memory, self.device,
-                                      stats=self.metrics.scope("wq"),
-                                      tracer=self.tracer)
+        #: Shard address map (identity at ``shards=1``).
+        self.router = ShardRouter.from_config(config)
+        # Per-shard devices and write queues.  ``memory.channels`` is
+        # per *controller* (as in real DDR-T/NVDIMM topologies), so a
+        # sharded machine fronts ``shards x channels`` channels in
+        # total — the added bandwidth/queue parallelism the shards
+        # figure sweeps.  At shards=1 the single device gets exactly
+        # the configured channels and the legacy scope names, so the
+        # machine is bit-identical to the unsharded one.
+        local_addr = None
+        if config.shards > 1:
+            local_addr = lambda addr: self.router.to_local(addr)[1]
+        self.devices = [
+            NvmDevice(self.sim, config.memory,
+                      stats=self.metrics.scope(
+                          self.scope_name("nvm", sid)),
+                      shard_id=sid, local_addr=local_addr)
+            for sid in range(config.shards)
+        ]
+        self.write_queues = [
+            WriteQueue(self.sim, config.memory, self.devices[sid],
+                       stats=self.metrics.scope(
+                           self.scope_name("wq", sid)),
+                       tracer=self.tracer)
+            for sid in range(config.shards)
+        ]
+        #: Shard-0 aliases: the unsharded machine's public attribute
+        #: surface (tests, oracles, and tooling address the singleton
+        #: through these).
+        self.device = self.devices[0]
+        self.write_queue = self.write_queues[0]
 
         # Carve the NVM address space: heap | dedup shadow | metadata.
         shadow_lines = 1 << 14
@@ -355,14 +471,44 @@ class NvmSystem:
             stats=self.metrics.scope("bmo"),
             pipeline_fraction=config.bmo_unit_pipeline_fraction,
             tracer=self.tracer)
-        self.janus: Optional[JanusEngine] = None
+        #: Per-shard pre-execution engines (empty unless janus mode).
+        #: Every engine subscribes its IRB to the shared pipeline's
+        #: invalidation hooks, so a metadata change on one shard
+        #: invalidates stale pre-executed results on every shard
+        #: (cross-shard invalidation).
+        self.janus_engines: List[JanusEngine] = []
         if config.mode == "janus":
-            self.janus = JanusEngine(self.sim, self.pipeline,
-                                     self.executor, config.janus,
-                                     cores=config.cores,
-                                     metrics=self.metrics,
-                                     tracer=self.tracer)
-        self.controller = MemoryController(self)
+            for sid in range(config.shards):
+                owns = None
+                if config.shards > 1:
+                    owns = (lambda addr, _sid=sid:
+                            self.router.shard_of(addr) == _sid)
+                self.janus_engines.append(JanusEngine(
+                    self.sim, self.pipeline, self.executor,
+                    config.janus, cores=config.cores,
+                    metrics=self.metrics, tracer=self.tracer,
+                    scope=self.scope_name("janus", sid),
+                    irb_scope=self.scope_name("irb", sid),
+                    owns=owns))
+        self.janus: Optional[JanusEngine] = \
+            self.janus_engines[0] if self.janus_engines else None
+        #: What workload software binds to (``JanusInterface``): the
+        #: single engine, or the sharded fan-out frontend.
+        self.janus_frontend = None
+        if self.janus_engines:
+            self.janus_frontend = self.janus if config.shards == 1 \
+                else ShardedJanusFrontend(self)
+        #: Cross-shard write-ahead ordering for async-epoch flushers
+        #: (``None`` everywhere else — the single-shard flusher is
+        #: sequential, so ordering is free).  Must exist before the
+        #: controllers build their policies.
+        self.txn_coordinator = None
+        if config.shards > 1 and config.mode == "async-epoch":
+            from repro.bmo.policy import TxnOrderCoordinator
+            self.txn_coordinator = TxnOrderCoordinator(self.sim)
+        self.controllers = [MemoryController(self, sid)
+                            for sid in range(config.shards)]
+        self.controller = self.controllers[0]
         self.heap = NvmHeap(base=CACHE_LINE_BYTES,
                             size=heap_limit - CACHE_LINE_BYTES)
         #: Per-system PRE_ID allocator shared by every core's
@@ -383,6 +529,33 @@ class NvmSystem:
         self.injector = injector
         if injector is not None:
             injector.attach(self)
+
+    # -- shard topology ------------------------------------------------------
+    def scope_name(self, base: str, shard_id: int) -> str:
+        """Metric scope for a per-shard component.
+
+        The unsharded machine keeps the legacy names (``mc``, ``wq``,
+        ``nvm``, ``janus``, ``irb``) so its metrics snapshot is
+        byte-identical to the pre-sharding system; sharded machines
+        suffix the shard id (``mc0``, ``mc1``, ...).
+        """
+        if self.cfg.shards == 1:
+            return base
+        return f"{base}{shard_id}"
+
+    def controller_for(self, addr: int) -> "MemoryController":
+        """The controller owning ``addr``'s line (shard routing)."""
+        controllers = self.controllers
+        if len(controllers) == 1:
+            return controllers[0]
+        return controllers[self.router.shard_of(addr)]
+
+    def write_queue_for(self, addr: int) -> WriteQueue:
+        """The write queue owning ``addr``'s line (shard routing)."""
+        queues = self.write_queues
+        if len(queues) == 1:
+            return queues[0]
+        return queues[self.router.shard_of(addr)]
 
     def _copy_nvm_line(self, src: int, dst: int) -> None:
         """Dedup relocation: move ciphertext between device lines.
@@ -427,10 +600,11 @@ class NvmSystem:
         all_done = self.sim.all_of(procs)
         self.sim.run(stop_event=all_done)
         elapsed = self.sim.now
-        # Clean shutdown: let the scheduling policy seal any relaxed
-        # state (async-epoch closes its open epoch) so the drain below
-        # makes a completed run fully durable.
-        self.controller.policy.quiesce()
+        # Clean shutdown: let every shard's scheduling policy seal any
+        # relaxed state (async-epoch closes its open epoch) so the
+        # drain below makes a completed run fully durable.
+        for controller in self.controllers:
+            controller.policy.quiesce()
         # Drain background work (device writes, ideal-mode BMOs,
         # epoch flushes) so functional state is complete, without
         # charging it to the measured program time — those operations
@@ -462,15 +636,22 @@ class NvmSystem:
             # lands before the snapshot, drop/tear fates are applied
             # per entry inside the flush itself.
             self.injector.on_power_failure()
-        self.write_queue.adr_flush()
+        for queue in self.write_queues:
+            queue.adr_flush()
         snapshot = {
             "nvm_lines": dict(self.nvm._lines),
             "metadata": self.pipeline.unreconstructable_metadata(),
         }
         # Relaxed scheduling policies contribute their durable
         # watermark (async-epoch's flushed-epoch register) so recovery
-        # can demote transactions from torn epochs.
-        scheduling = self.controller.policy.crash_metadata()
+        # can demote transactions from torn epochs.  On the sharded
+        # machine the per-shard watermarks are merged into the minimum
+        # cross-shard consistent cut (see docs/sharding.md); at
+        # shards=1 this is the single policy's dict, verbatim.
+        from repro.bmo.policy import merge_crash_metadata
+        scheduling = merge_crash_metadata(
+            [controller.policy for controller in self.controllers],
+            self.txn_coordinator)
         if scheduling is not None:
             snapshot["metadata"]["scheduling"] = scheduling
         self.volatile = VolatileView(self.cfg.memory.capacity_bytes)

@@ -86,10 +86,14 @@ class FaultInjector:
         self.stats = system.metrics.scope("faults")
         self.tracer = system.tracer
         self._c_injected = self.stats.counter("injected")
-        system.device.injector = self
-        system.write_queue.injector = self
-        if system.janus is not None:
-            system.janus.injector = self
+        # Every shard's device / queue / engine reports here (one list
+        # each on the unsharded machine).
+        for device in system.devices:
+            device.injector = self
+        for write_queue in system.write_queues:
+            write_queue.injector = self
+        for engine in system.janus_engines:
+            engine.injector = self
         return self
 
     # -- bookkeeping -------------------------------------------------------

@@ -79,6 +79,11 @@ class CampaignConfig:
     value_size: int = 64
     n_transactions: int = 12
     fault_scenarios: bool = True
+    #: Memory-controller shards (docs/sharding.md).  The sharded
+    #: campaign proves recovery lands on a *cross-shard* consistent
+    #: cut — e.g. a crash caught with one shard's epoch flusher
+    #: behind the others still recovers a committed boundary.
+    shards: int = 1
 
     def params(self) -> WorkloadParams:
         return WorkloadParams(n_items=self.n_items,
@@ -86,7 +91,7 @@ class CampaignConfig:
                               n_transactions=self.n_transactions)
 
     def to_dict(self) -> Dict:
-        return {
+        out = {
             "workloads": list(self.workloads),
             "modes": list(self.modes),
             "points": self.points,
@@ -96,6 +101,11 @@ class CampaignConfig:
             "n_transactions": self.n_transactions,
             "fault_scenarios": self.fault_scenarios,
         }
+        # Only serialised when sharded, so unsharded reports stay
+        # byte-identical to pre-sharding campaigns.
+        if self.shards != 1:
+            out["shards"] = self.shards
+        return out
 
 
 def quick_config(seed: int = 7) -> CampaignConfig:
@@ -111,10 +121,13 @@ def _variant(mode: str) -> str:
 
 def _build(name: str, mode: str, params: WorkloadParams, seed: int,
            injector: Optional[FaultInjector] = None,
-           bmos: Optional[Sequence[str]] = None):
+           bmos: Optional[Sequence[str]] = None,
+           shards: int = 1):
     overrides = {"mode": mode, "seed": seed}
     if bmos is not None:
         overrides["bmos"] = tuple(bmos)
+    if shards != 1:
+        overrides["shards"] = shards
     system = NvmSystem(default_config(**overrides), injector=injector)
     workload = make_workload(name, system, system.cores[0], params,
                              variant=_variant(mode))
@@ -123,7 +136,8 @@ def _build(name: str, mode: str, params: WorkloadParams, seed: int,
 
 def reference_trajectory(name: str, mode: str, params: WorkloadParams,
                          seed: int,
-                         bmos: Optional[Sequence[str]] = None):
+                         bmos: Optional[Sequence[str]] = None,
+                         shards: int = 1):
     """Run to completion; digest after setup and after every commit.
 
     Returns ``(digests, horizon_ns)`` where ``digests[k]`` is the
@@ -132,7 +146,8 @@ def reference_trajectory(name: str, mode: str, params: WorkloadParams,
     streams, so for a fixed seed the trajectory is identical across
     modes — the campaign asserts exactly that.
     """
-    system, workload = _build(name, mode, params, seed, bmos=bmos)
+    system, workload = _build(name, mode, params, seed, bmos=bmos,
+                              shards=shards)
     digests: Dict[int, str] = {
         0: workload.logical_digest(system.volatile.read)}
 
@@ -152,7 +167,8 @@ def run_crash_point(name: str, mode: str, params: WorkloadParams,
                     seed: int, crash_at: float,
                     plan: Optional[FaultPlan] = None,
                     bmos: Optional[Sequence[str]] = None,
-                    crash_on_accept: Optional[int] = None) -> Dict:
+                    crash_on_accept: Optional[int] = None,
+                    shards: int = 1) -> Dict:
     """One crash point: run, crash, recover, scrub, decode.
 
     Returns a record with the recovered commit count, the logical
@@ -169,25 +185,32 @@ def run_crash_point(name: str, mode: str, params: WorkloadParams,
     """
     injector = FaultInjector(plan) if plan is not None else None
     system, workload = _build(name, mode, params, seed,
-                              injector=injector, bmos=bmos)
+                              injector=injector, bmos=bmos,
+                              shards=shards)
     system.sim.process(workload.run(), name="stream")
     if crash_on_accept is None:
         system.sim.run(until=crash_at)
     else:
+        # Count acceptances across every shard's queue — the Nth
+        # acceptance system-wide, wherever it lands.
         stop = system.sim.event("accept-crash")
-        original = system.write_queue.accept
+        originals = [queue.accept for queue in system.write_queues]
         seen = {"accepts": 0}
 
-        def wrapped(entry):
-            yield from original(entry)
-            seen["accepts"] += 1
-            if seen["accepts"] == crash_on_accept \
-                    and not stop.triggered:
-                stop.succeed()
+        def _wrap(original):
+            def wrapped(entry):
+                yield from original(entry)
+                seen["accepts"] += 1
+                if seen["accepts"] == crash_on_accept \
+                        and not stop.triggered:
+                    stop.succeed()
+            return wrapped
 
-        system.write_queue.accept = wrapped
+        for queue, original in zip(system.write_queues, originals):
+            queue.accept = _wrap(original)
         system.sim.run(stop_event=stop)
-        system.write_queue.accept = original
+        for queue, original in zip(system.write_queues, originals):
+            queue.accept = original
         crash_at = system.sim.now
     snapshot = system.crash()
 
@@ -401,10 +424,12 @@ def run_campaign(config: Optional[CampaignConfig] = None,
 
     # Phase 1 — reference trajectories (one per workload x mode).
     # These anchor every downstream check, so a failure here is fatal.
+    shard_kwargs = {} if config.shards == 1 \
+        else {"shards": config.shards}
     references = executor.map_values([
         SweepTask(key=(name, mode), fn=_REFERENCE_FN,
                   kwargs=dict(name=name, mode=mode, params=params,
-                              seed=config.seed))
+                              seed=config.seed, **shard_kwargs))
         for name, mode in pairs], strict=True)
 
     # Phase 2 — every crash point of every sweep, one task each.
@@ -418,7 +443,8 @@ def run_campaign(config: Optional[CampaignConfig] = None,
             point_tasks.append(SweepTask(
                 key=(name, mode, i), fn=_CRASH_POINT_FN,
                 kwargs=dict(name=name, mode=mode, params=params,
-                            seed=config.seed, crash_at=crash_at)))
+                            seed=config.seed, crash_at=crash_at,
+                            **shard_kwargs)))
     point_results = {r.key: r for r in executor.map(point_tasks)}
 
     # Phase 3 — fault-class scenarios.

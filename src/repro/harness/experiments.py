@@ -329,6 +329,101 @@ def modes_comparison(scale: float = 1.0,
 
 
 # ---------------------------------------------------------------------------
+# Sharded-controller scaling sweep (docs/sharding.md)
+# ---------------------------------------------------------------------------
+
+#: Every scheduling mode — the sharded topology must honour all six
+#: per-shard, so the sweep covers the full contract, not just the
+#: headline four.
+ALL_MODES = ("serialized", "parallel", "janus", "ideal",
+             "coalesced", "async-epoch")
+
+
+def shards_sweep(scale: float = 1.0,
+                 shards: Tuple[int, ...] = (1, 2, 4),
+                 modes: Tuple[str, ...] = ALL_MODES,
+                 workloads: Optional[List[str]] = None,
+                 cores: int = 4,
+                 jobs: Optional[int] = None,
+                 progress=None) -> FigureResult:
+    """Speedup vs. shard count across every workload and mode.
+
+    One row per ``(workload, mode)``: ns/transaction at each shard
+    count plus the speedup of each sharded topology over ``shards=1``
+    *within the same mode*.  Every point runs with the invariant
+    checker attached (``check_invariants=True``), so a rendered table
+    doubles as a ``--check``-clean certificate for the sharded
+    machine.
+
+    Four cores by default: channel parallelism only matters once the
+    write stream is wide enough to queue, and the flush-bound
+    ``async-epoch`` mode is where per-shard channel groups pay off.
+    The strict modes are BMO-bound (the shared pipeline is the
+    critical path), so their rows are expected to stay flat — an
+    honest negative result the table reports rather than hides.
+    """
+    workloads = workloads or ALL_WORKLOADS
+    params = _params(scale)
+    specs: List[PointSpec] = []
+    for name in workloads:
+        for mode in modes:
+            variant = "manual" if mode == "janus" else None
+            for n_shards in shards:
+                specs.append(((name, mode, n_shards), dict(
+                    workload=name, mode=mode, variant=variant,
+                    cores=cores, params=params, shards=n_shards,
+                    check_invariants=True)))
+    points = _sweep_points(specs, jobs=jobs, progress=progress)
+    base = shards[0]
+    header = ["workload", "mode"]
+    header += [f"s={n} ns/txn" for n in shards]
+    header += [f"s={n} speedup" for n in shards if n != base]
+    table = Table(
+        f"Sharded controllers: ns/transaction and speedup over "
+        f"shards={base} ({cores} cores, invariants checked)",
+        header)
+    data: Dict = {}
+    txns = params.n_transactions
+    for name in workloads:
+        for mode in modes:
+            ref = points[(name, mode, base)]
+            row: List = [name, mode]
+            entry: Dict = {}
+            for n_shards in shards:
+                res = points[(name, mode, n_shards)]
+                entry[n_shards] = {
+                    "elapsed_ns": res.elapsed_ns,
+                    "ns_per_txn": res.elapsed_ns / max(1, txns),
+                }
+                row.append(entry[n_shards]["ns_per_txn"])
+            for n_shards in shards:
+                if n_shards == base:
+                    continue
+                s = speedup_over(ref, points[(name, mode, n_shards)])
+                entry[n_shards]["speedup"] = s
+                row.append(s)
+            data[(name, mode)] = entry
+            table.add_row(*row)
+    for mode in modes:
+        avg_row: List = ["avg", mode]
+        for n_shards in shards:
+            avg_row.append(arithmetic_mean(
+                [data[(w, mode)][n_shards]["ns_per_txn"]
+                 for w in workloads]))
+        for n_shards in shards:
+            if n_shards == base:
+                continue
+            avg_row.append(arithmetic_mean(
+                [data[(w, mode)][n_shards]["speedup"]
+                 for w in workloads]))
+        table.add_row(*avg_row)
+    # JSON-friendly data keys ("workload/mode" instead of a tuple).
+    flat = {f"{w}/{m}": {str(n): v for n, v in entry.items()}
+            for (w, m), entry in data.items()}
+    return FigureResult("shards", data=flat, rendered=table.render())
+
+
+# ---------------------------------------------------------------------------
 # Fig. 11 — manual vs. automated instrumentation
 # ---------------------------------------------------------------------------
 

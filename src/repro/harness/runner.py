@@ -23,6 +23,11 @@ class ExperimentResult:
     stats: Dict[str, float] = field(default_factory=dict)
     #: Full metrics snapshot (``MetricsRegistry.snapshot``) of the run.
     snapshot: Optional[Dict] = None
+    #: Recovered-structure digest (``with_digest=True``): crash the
+    #: completed run, recover, and hash every core's logical state.
+    #: Topology-blind — identical at any shard width for equivalent
+    #: runs (docs/sharding.md), unlike the per-scope metrics above.
+    digest: Optional[str] = None
 
     @property
     def ns_per_transaction(self) -> float:
@@ -39,6 +44,7 @@ def run_point(workload: str,
               tracer: Optional[Tracer] = None,
               profiler=None,
               sampler=None,
+              with_digest: bool = False,
               **config_overrides) -> ExperimentResult:
     """Simulate one design point and return its result.
 
@@ -89,10 +95,27 @@ def run_point(workload: str,
         "workload": workload, "mode": mode, "variant": variant,
         "cores": cores, "elapsed_ns": elapsed,
         "transactions": transactions})
+    digest = None
+    if with_digest:
+        # Crash the completed (quiesced, drained) run, recover from
+        # the persisted image, and hash every core's recovered
+        # logical structure.  Runs after the measurement and the
+        # metrics snapshot, so it never perturbs either.
+        import hashlib
+
+        from repro.consistency.recovery import recover
+        crash_snapshot = system.crash()
+        regions = [(w.log.base, w.log.capacity) for w in workloads]
+        state = recover(crash_snapshot, regions, verify_macs=True)
+        hasher = hashlib.sha256()
+        for instance in workloads:
+            hasher.update(instance.logical_digest(state.read)
+                          .encode("ascii"))
+        digest = hasher.hexdigest()
     return ExperimentResult(
         workload=workload, mode=mode, variant=variant, cores=cores,
         elapsed_ns=elapsed, transactions=transactions, stats=stats,
-        snapshot=snapshot)
+        snapshot=snapshot, digest=digest)
 
 
 def speedup_over(baseline: ExperimentResult,

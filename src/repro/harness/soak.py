@@ -97,6 +97,11 @@ class SoakConfig:
     #: Run the full recovery-idempotence oracle on every
     #: ``recovery_crash`` cycle (crash at *every* instrumented step).
     idempotence_oracle: bool = True
+    #: Memory-controller shards (docs/sharding.md): a sharded soak
+    #: proves a *lifetime* of crashes always recovers onto a
+    #: cross-shard consistent cut, even with per-shard flushers at
+    #: different depths when the plug is pulled.
+    shards: int = 1
 
     def params(self) -> WorkloadParams:
         # Capacity knobs (undo-log size, tpcc order slots) are sized
@@ -106,7 +111,7 @@ class SoakConfig:
             n_transactions=self.cycles * self.txns_per_cycle)
 
     def to_dict(self) -> Dict:
-        return {
+        out = {
             "workloads": list(self.workloads),
             "modes": list(self.modes),
             "cycles": self.cycles,
@@ -116,6 +121,11 @@ class SoakConfig:
             "value_size": self.value_size,
             "idempotence_oracle": self.idempotence_oracle,
         }
+        # Serialised only when sharded: unsharded soak reports stay
+        # byte-identical to pre-sharding campaigns.
+        if self.shards != 1:
+            out["shards"] = self.shards
+        return out
 
 
 def quick_config(seed: int = 7) -> SoakConfig:
@@ -138,7 +148,8 @@ def _restore(name: str, mode: str, config: SoakConfig,
     MACs, dedup, ECC codes) is consistent with the restored bytes.
     """
     system, workload = _build(name, mode, config.params(), config.seed,
-                              injector=injector, bmos=SOAK_BMOS)
+                              injector=injector, bmos=SOAK_BMOS,
+                              shards=config.shards)
     if carry is not None:
         live = {a.addr for a in system.heap.live_allocations()}
         for addr, size, label in carry["allocs"]:
@@ -217,10 +228,14 @@ def _wear_victims(carry: Dict, system, footprint: List[int],
     second one)."""
     wear: StartGap = carry["wear"]
     before = wear.moves
-    for _ in range(system.device.writes):
+    total_writes = sum(device.writes for device in system.devices)
+    for _ in range(total_writes):
         wear.record_write()
     new_victims = []
-    counts = system.device.write_counts
+    counts: Dict[int, int] = {}
+    for device in system.devices:
+        for line, n in device.write_counts.items():
+            counts[line] = counts.get(line, 0) + n
     hottest = sorted((line for line in footprint
                       if line not in carry["stuck"]),
                      key=lambda line: (-counts.get(line, 0), line))
@@ -292,20 +307,25 @@ def _run_cycle(name: str, mode: str, config: SoakConfig,
             # Crash the instant the Nth acceptance completes — the
             # only moment an entry provably sits undrained in ADR.
             stop = system.sim.event("soak-accept-crash")
-            original = system.write_queue.accept
+            originals = [q.accept for q in system.write_queues]
             seen = {"accepts": 0}
 
-            def wrapped(entry):
-                yield from original(entry)
-                seen["accepts"] += 1
-                if seen["accepts"] == accept_n and not stop.triggered:
-                    stop.succeed()
+            def _wrap(original):
+                def wrapped(entry):
+                    yield from original(entry)
+                    seen["accepts"] += 1
+                    if seen["accepts"] == accept_n \
+                            and not stop.triggered:
+                        stop.succeed()
+                return wrapped
 
-            system.write_queue.accept = wrapped
+            for queue, original in zip(system.write_queues, originals):
+                queue.accept = _wrap(original)
             system.sim.process(
                 _drive(workload, config.txns_per_cycle), name="stream")
             system.sim.run(stop_event=stop)
-            system.write_queue.accept = original
+            for queue, original in zip(system.write_queues, originals):
+                queue.accept = original
         else:
             system.sim.process(
                 _drive(workload, config.txns_per_cycle), name="stream")

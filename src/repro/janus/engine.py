@@ -36,12 +36,20 @@ class JanusEngine:
 
     def __init__(self, sim: Simulator, pipeline: BmoPipeline,
                  executor: BmoExecutor, config: JanusConfig,
-                 cores: int = 1, metrics=None, tracer=None):
+                 cores: int = 1, metrics=None, tracer=None,
+                 scope: str = "janus", irb_scope: str = "irb",
+                 owns=None):
         self.sim = sim
         self.pipeline = pipeline
         self.executor = executor
         self.cfg = config
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Shard ownership predicate (``line_addr -> bool``).  ``None``
+        #: on the unsharded machine; the sharded machine sets it so
+        #: each shard's engine only admits operations for lines it
+        #: owns — a multi-line request spanning shards is decoded by
+        #: every engine it touches, each keeping its own slice.
+        self.owns = owns
         self.request_queue = PreExecRequestQueue(
             sim, capacity=config.scaled("request_queue_entries") * cores)
         self.operation_queue = PreExecOperationQueue(
@@ -49,7 +57,8 @@ class JanusEngine:
         self.irb = IntermediateResultBuffer(
             sim, capacity=config.scaled("irb_entries") * cores,
             max_age_ns=config.irb_max_age_ns,
-            stats=metrics.scope("irb") if metrics is not None else None,
+            stats=metrics.scope(irb_scope) if metrics is not None
+            else None,
             tracer=self.tracer)
         self._inflight_ops = 0
         #: Optional ``repro.faults.FaultInjector``: notified when an
@@ -57,7 +66,7 @@ class JanusEngine:
         #: corrupt buffered results and prove invalidation catches
         #: them (stale results must never be silently consumed).
         self.injector = None
-        self.stats = metrics.scope("janus") if metrics is not None \
+        self.stats = metrics.scope(scope) if metrics is not None \
             else StatSet("janus")
         # Hot metric handles: one registry lookup at construction
         # instead of a string-keyed dict probe per write/admit.
@@ -109,6 +118,11 @@ class JanusEngine:
                 self._admit(op)
 
     def _admit(self, op: PreExecOperation) -> None:
+        if self.owns is not None and op.line_addr is not None \
+                and not self.owns(op.line_addr):
+            # Sharded machine: this line belongs to another shard's
+            # controller; its engine admits the operation instead.
+            return
         capacity = self.operation_queue._store.capacity
         if capacity is not None and self._inflight_ops >= capacity:
             self._c_ops_dropped_full.add()

@@ -18,6 +18,7 @@ from repro.mem.cache import CacheModel
 from repro.mem.heap import NvmHeap
 from repro.mem.memory import FunctionalMemory, VolatileView
 from repro.mem.nvm_device import NvmDevice
+from repro.mem.shard import ShardRouter
 from repro.mem.write_queue import WriteQueue
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "FunctionalMemory",
     "NvmDevice",
     "NvmHeap",
+    "ShardRouter",
     "VolatileView",
     "WriteQueue",
 ]

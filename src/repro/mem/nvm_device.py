@@ -5,9 +5,18 @@ A channel is busy for ``read_service_ns`` / ``write_service_ns`` per
 tWR).  With several cores issuing traffic the channel queue grows and
 memory latency inflates — the contention that makes Janus's relative
 benefit shrink at 8 cores (paper §5.2.1, trend 1).
+
+In the sharded machine (``SystemConfig.shards > 1``) each memory
+controller owns one ``NvmDevice`` fronting its own channel group —
+``MemoryConfig.channels`` is per controller, as in real DDR-T/NVDIMM
+topologies, so shard count multiplies total channel parallelism
+(``shards=1`` keeps the classic single device, bit for bit).
+Per-channel bandwidth and queueing accounting
+(:meth:`channel_statistics`) lives in plain attributes, not the
+metrics registry, so enabling it costs no snapshot bytes.
 """
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.common.config import MemoryConfig
 from repro.sim import Resource, Simulator
@@ -24,17 +33,38 @@ class NvmDevice:
     """
 
     def __init__(self, sim: Simulator, config: MemoryConfig,
-                 stats: Optional[StatSet] = None):
+                 stats: Optional[StatSet] = None,
+                 channels: Optional[int] = None,
+                 shard_id: int = 0,
+                 local_addr=None):
         self.sim = sim
         self.cfg = config
+        self.shard_id = shard_id
+        #: Global -> shard-local address map for channel hashing.  A
+        #: sharded device sees stride-interleaved global addresses;
+        #: hashing those directly would alias whole stripes onto a
+        #: subset of channels, so the machine passes the router's
+        #: densifying map.  ``None`` (unsharded) hashes the address
+        #: as-is.
+        self._local_addr = local_addr
+        n_channels = channels if channels is not None \
+            else config.channels
         self._channels = [
-            Resource(sim, capacity=1, name=f"nvm-ch{i}")
-            for i in range(config.channels)
+            Resource(sim, capacity=1, name=f"nvm-s{shard_id}ch{i}"
+                     if shard_id else f"nvm-ch{i}")
+            for i in range(n_channels)
         ]
         self.reads = 0
         self.writes = 0
         #: line address -> number of device writes (cell wear).
         self.write_counts: Dict[int, int] = {}
+        # Per-channel queueing/bandwidth accounting (plain Python, so
+        # the metrics snapshot stays identical whether or not anyone
+        # reads it): accesses completed, time spent waiting for the
+        # channel, and busy (service) time per channel.
+        self._ch_accesses: List[int] = [0] * n_channels
+        self._ch_wait_ns: List[float] = [0.0] * n_channels
+        self._ch_busy_ns: List[float] = [0.0] * n_channels
         self.stats = stats if stats is not None else StatSet("nvm")
         #: Optional ``repro.faults.FaultInjector`` (set by ``attach``).
         #: Read-side media faults are armed here on the timing path;
@@ -45,9 +75,36 @@ class NvmDevice:
     def _count(self, name: str) -> None:
         self.stats.counter(name).add()
 
+    def _channel_index(self, addr: int) -> int:
+        if self._local_addr is not None:
+            addr = self._local_addr(addr)
+        return (addr // 64) % len(self._channels)
+
     def _channel_for(self, addr: int) -> Resource:
-        index = (addr // 64) % len(self._channels)
-        return self._channels[index]
+        return self._channels[self._channel_index(addr)]
+
+    def _access(self, addr: int, service_ns: float):
+        """Process: acquire the line's channel, serve, and account.
+
+        Event-for-event identical to ``Resource.use`` — the wait/busy
+        bookkeeping happens between existing yields, never adding one.
+        """
+        index = self._channel_index(addr)
+        channel = self._channels[index]
+        arrival = self.sim.now
+        grant = channel.acquire()
+        try:
+            yield grant
+        except BaseException:
+            channel.cancel(grant)
+            raise
+        self._ch_accesses[index] += 1
+        self._ch_wait_ns[index] += self.sim.now - arrival
+        self._ch_busy_ns[index] += service_ns
+        try:
+            yield self.sim.delay(service_ns)
+        finally:
+            channel.release()
 
     def read_access(self, addr: int):
         """Process: occupy the channel for one line read."""
@@ -55,14 +112,14 @@ class NvmDevice:
         self._count("reads")
         if self.injector is not None:
             self.injector.on_device_read(addr)
-        yield from self._channel_for(addr).use(self.cfg.read_service_ns)
+        yield from self._access(addr, self.cfg.read_service_ns)
 
     def write_access(self, addr: int):
         """Process: occupy the channel for one line write."""
         self.writes += 1
         self._count("writes")
         self.write_counts[addr] = self.write_counts.get(addr, 0) + 1
-        yield from self._channel_for(addr).use(self.cfg.write_service_ns)
+        yield from self._access(addr, self.cfg.write_service_ns)
 
     def wear_statistics(self) -> Dict[str, float]:
         """Summary of the per-line wear distribution."""
@@ -79,6 +136,28 @@ class NvmDevice:
             # factor wear-leveling is meant to pull down.
             "imbalance": worst / mean if mean else 0.0,
         }
+
+    def channel_statistics(self) -> List[Dict[str, float]]:
+        """Per-channel queueing/bandwidth summary, in channel order.
+
+        ``accesses`` / ``busy_ns`` measure delivered bandwidth (64 B
+        per access over busy time); ``mean_wait_ns`` and the live
+        ``queue_length`` expose queueing pressure per channel.
+        """
+        out = []
+        for index, channel in enumerate(self._channels):
+            accesses = self._ch_accesses[index]
+            out.append({
+                "channel": index,
+                "accesses": accesses,
+                "busy_ns": self._ch_busy_ns[index],
+                "wait_ns": self._ch_wait_ns[index],
+                "mean_wait_ns": self._ch_wait_ns[index] / accesses
+                if accesses else 0.0,
+                "utilisation": channel.utilisation(),
+                "queue_length": channel.queue_length,
+            })
+        return out
 
     def utilisation(self) -> float:
         """Mean utilisation across channels."""

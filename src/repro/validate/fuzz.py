@@ -128,14 +128,19 @@ def generate_api_case(seed: int, max_ops: int = 16,
 
 
 def generate_cases(seed: int, count: int, max_ops: int = 16,
-                   workloads: Sequence[str] = DEFAULT_WORKLOADS
-                   ) -> List[FuzzCase]:
+                   workloads: Sequence[str] = DEFAULT_WORKLOADS,
+                   shards: int = 1) -> List[FuzzCase]:
     """The deterministic case list for one root seed.
 
     Diet: mostly ``api`` cases, one ``irb`` lockstep trace per 5
     cases, and one small ``workload`` kernel per 7 (round-robin over
     ``workloads``; pass an empty sequence to disable).  Differential
     cases rotate their candidate mode through :data:`MODE_ROTATION`.
+
+    ``shards != 1`` runs every differential case's *candidate* on an
+    N-way sharded machine against the unsharded serialized reference
+    (docs/sharding.md); the param is omitted at 1 so default repro
+    files stay byte-identical to pre-sharding campaigns.
     """
     cases: List[FuzzCase] = []
     diffed = 0
@@ -158,6 +163,8 @@ def generate_cases(seed: int, count: int, max_ops: int = 16,
             case = generate_api_case(case_seed, max_ops=max_ops)
             case.params["modes"] = list(modes)
             cases.append(case)
+        if shards != 1:
+            cases[-1].params["shards"] = shards
     return cases
 
 
@@ -198,6 +205,7 @@ def failure_key(failure: Dict) -> Tuple:
 
 def run_case(case: FuzzCase) -> Optional[Dict]:
     """Execute one case; returns a failure dict or ``None``."""
+    shards = (case.params.get("shards", 1),)
     try:
         if case.kind == "api":
             check_mode_equivalence(
@@ -205,7 +213,8 @@ def run_case(case: FuzzCase) -> Optional[Dict]:
                 modes=tuple(case.params.get("modes", ("janus",))),
                 n_lines=case.params.get("n_lines", 8),
                 seed=case.seed % 1009, check=True,
-                threads=case.params.get("threads", 1))
+                threads=case.params.get("threads", 1),
+                shards=shards)
         elif case.kind == "irb":
             rng = DeterministicRng(case.seed).stream("fuzz-irb")
             run_random_irb_trace(
@@ -217,7 +226,8 @@ def run_case(case: FuzzCase) -> Optional[Dict]:
                 case.params["workload"], seed=case.seed % 1009,
                 txns=case.params.get("txns", 5),
                 items=case.params.get("items", 10), check=True,
-                modes=tuple(case.params.get("modes", ("janus",))))
+                modes=tuple(case.params.get("modes", ("janus",))),
+                shards=shards)
         else:
             raise ValueError(f"unknown case kind {case.kind!r}")
     except BaseException as error:  # noqa: BLE001 — classify, don't sink
@@ -285,7 +295,7 @@ def run_fuzz(cases: int = 60, seed: int = 0, max_ops: int = 16,
              jobs: Optional[int] = None,
              workloads: Sequence[str] = DEFAULT_WORKLOADS,
              out_dir: Optional[str] = None, write: bool = True,
-             progress=None,
+             progress=None, shards: int = 1,
              worker_fn: str = "repro.validate.fuzz:run_batch") -> Dict:
     """Run one fuzz campaign; returns the report dict.
 
@@ -304,7 +314,7 @@ def run_fuzz(cases: int = 60, seed: int = 0, max_ops: int = 16,
                  seed=seed, max_ops=max_ops,
                  workloads=list(workloads))
     case_list = generate_cases(seed, cases, max_ops=max_ops,
-                               workloads=workloads)
+                               workloads=workloads, shards=shards)
     batches = [case_list[i:i + BATCH]
                for i in range(0, len(case_list), BATCH)]
     tasks = [SweepTask(key=("fuzz", i), fn=worker_fn,

@@ -34,7 +34,18 @@ invariant               layer / statement
                         their monotone transaction-id prefix, and no
                         transaction appends backup/update records after
                         its own commit record (committed-prefix rule).
+``sfence-barrier``      core/mem: at every ``sfence`` retirement the
+                        fence's durability contract holds on *every*
+                        memory controller it may have touched — write
+                        queue accounting is consistent per shard, and
+                        each async-epoch shard's staleness debt is
+                        within bound (one epoch of slack on sharded
+                        machines for coordinator demand-closes).
 ======================  ==================================================
+
+On the sharded machine (``SystemConfig.shards > 1``) the per-component
+invariants run against every shard's IRB and write queue; the sfence
+barrier is the genuinely cross-shard one — see ``docs/sharding.md``.
 
 Violations raise :class:`InvariantViolation`, which carries the
 invariant name, the owning layer, and a minimal state snapshot
@@ -138,9 +149,10 @@ class InvariantChecker:
         self._c_checks.add()
         try:
             system = self.system
-            if system.janus is not None:
-                self.check_irb(system.janus.irb)
-            self.check_write_queue(system.write_queue)
+            for engine in system.janus_engines:
+                self.check_irb(engine.irb)
+            for write_queue in system.write_queues:
+                self.check_write_queue(write_queue)
             by_name = system.pipeline.by_name
             if "dedup" in by_name:
                 self.check_dedup(by_name["dedup"])
@@ -240,6 +252,59 @@ class InvariantChecker:
                      "previous_created_at": last_created})
             last_link, last_created = entry.link_seq, entry.created_at
 
+    # -- core/mem: cross-shard sfence barrier ---------------------------
+    def check_sfence(self, core_id: int) -> None:
+        """Called by ``Core.sfence`` as the fence retires: the fence's
+        durability contract must hold on every controller it may have
+        touched (on the sharded machine a fence is a barrier over all
+        shards its writebacks landed on).
+
+        Deliberately metric-free and O(shards): it runs on every
+        fence of a checked run.
+        """
+        system = self.system
+        sharded = len(system.controllers) > 1
+        for controller in system.controllers:
+            write_queue = controller.write_queue
+            undrained = write_queue.accepted - write_queue.drained
+            # Unlike the commit-point check, a fence can observe an
+            # accept between its slot grant and its resumption, so
+            # ``outstanding`` may transiently exceed the accepted
+            # count — but never the reverse, and the pending list must
+            # agree with the counters exactly.
+            if len(write_queue._pending) != undrained \
+                    or undrained > write_queue.outstanding:
+                raise InvariantViolation(
+                    "sfence-barrier", "mem",
+                    f"shard {controller.shard_id} write-queue "
+                    f"accounting inconsistent at sfence "
+                    f"(core {core_id})",
+                    {"core": core_id, "shard": controller.shard_id,
+                     "accepted": write_queue.accepted,
+                     "drained": write_queue.drained,
+                     "pending": len(write_queue._pending),
+                     "outstanding": write_queue.outstanding})
+            policy = controller.policy
+            if policy.name != "async-epoch":
+                continue
+            # A coordinator demand-close may seal one epoch past the
+            # bound on a sharded machine (docs/sharding.md); the
+            # single-shard bound is exact.
+            slack = 1 if sharded else 0
+            debt = policy._epochs_closed - policy._epochs_flushed
+            if debt > policy.staleness_epochs + slack:
+                raise InvariantViolation(
+                    "sfence-barrier", "core",
+                    f"shard {controller.shard_id} staleness debt "
+                    f"{debt} exceeds bound "
+                    f"{policy.staleness_epochs} + {slack} at sfence "
+                    f"(core {core_id})",
+                    {"core": core_id, "shard": controller.shard_id,
+                     "epochs_closed": policy._epochs_closed,
+                     "epochs_flushed": policy._epochs_flushed,
+                     "staleness_epochs": policy.staleness_epochs,
+                     "slack": slack})
+
     # -- mem: write-queue epoch ordering --------------------------------
     def check_write_queue(self, wq) -> None:
         last = None
@@ -252,12 +317,20 @@ class InvariantChecker:
                      "accepted_at": entry.accepted_at,
                      "previous_accepted_at": last})
             last = entry.accepted_at
-        if wq.accepted - wq.drained != wq.outstanding:
+        undrained = wq.accepted - wq.drained
+        # ``outstanding`` (slots in use) may transiently exceed the
+        # accepted count: a concurrent accept holds its slot from the
+        # grant instant, but only counts as accepted when its process
+        # resumes.  The reverse can never hold, and the pending list
+        # must agree with the counters exactly.
+        if len(wq._pending) != undrained or undrained > wq.outstanding:
             raise InvariantViolation(
                 "wq-epoch-order", "mem",
-                f"accepted({wq.accepted}) - drained({wq.drained}) != "
+                f"accepted({wq.accepted}) - drained({wq.drained}) "
+                f"inconsistent with pending({len(wq._pending)}) / "
                 f"outstanding({wq.outstanding})",
                 {"accepted": wq.accepted, "drained": wq.drained,
+                 "pending": len(wq._pending),
                  "outstanding": wq.outstanding})
 
     # -- crypto: Merkle root agreement ----------------------------------

@@ -133,9 +133,11 @@ def apply_ops(core, base: int, ops: Sequence[tuple]):
             api.thread_exit()
         elif kind == "swap":
             _, lo, hi = op
-            if core.system.janus is not None:
-                core.system.janus.on_memory_swap(base + lo * LINE,
-                                                 base + hi * LINE)
+            if core.system.janus_frontend is not None:
+                # The frontend broadcasts to every shard's engine (it
+                # IS the engine at shards=1).
+                core.system.janus_frontend.on_memory_swap(
+                    base + lo * LINE, base + hi * LINE)
         elif kind == "compute":
             yield from core.compute(op[1])
         else:
@@ -172,7 +174,8 @@ def partition_ops(ops: Sequence[tuple],
 def run_write_program(mode: str, ops: Sequence[tuple],
                       n_lines: int = 12, seed: int = 11,
                       check: bool = False,
-                      threads: int = 1) -> List[bytes]:
+                      threads: int = 1,
+                      shards: int = 1) -> List[bytes]:
     """Run ``ops`` under ``mode``; return the recovered arena image.
 
     The system is crashed at the end and recovered through ciphertext
@@ -180,11 +183,13 @@ def run_write_program(mode: str, ops: Sequence[tuple],
     would actually read back, not the volatile view.  ``check=True``
     additionally runs the :class:`InvariantChecker` on every commit.
     ``threads`` > 1 partitions the ops (see :func:`partition_ops`)
-    over that many concurrent cores.
+    over that many concurrent cores; ``shards`` > 1 runs the sharded
+    machine (the arena interleaves across controllers).
     """
     system = NvmSystem(default_config(mode=mode, seed=seed,
                                       cores=max(1, threads),
-                                      check_invariants=check))
+                                      check_invariants=check,
+                                      shards=shards))
     base = system.heap.alloc_line(n_lines * LINE, label="arena")
     system.run_programs(
         [apply_ops(system.cores[tid], base, stream)
@@ -214,7 +219,8 @@ def check_mode_equivalence(ops: Sequence[tuple],
                            modes: Iterable[str] = ("janus",),
                            n_lines: int = 12, seed: int = 11,
                            check: bool = True,
-                           threads: int = 1) -> None:
+                           threads: int = 1,
+                           shards: Iterable[int] = (1,)) -> None:
     """Raise :class:`OracleMismatch` unless every mode's recovered
     image matches the serialized reference for ``ops``.
 
@@ -224,28 +230,38 @@ def check_mode_equivalence(ops: Sequence[tuple],
     ``run_programs`` quiesces the policy, so every epoch has flushed
     by the time the crash snapshot is taken.  Mid-run crashes of
     ``async-epoch`` are covered by the *bounded-staleness* contract
-    instead (:func:`check_bounded_staleness`)."""
+    instead (:func:`check_bounded_staleness`).
+
+    The reference is always the unsharded serialized machine; every
+    candidate mode runs at every shard count in ``shards``, so the
+    sharded topology must be functionally invisible too.
+    """
     reference = run_write_program("serialized", ops, n_lines=n_lines,
                                   seed=seed, check=check,
                                   threads=threads)
-    for mode in modes:
-        image = run_write_program(mode, ops, n_lines=n_lines,
-                                  seed=seed, check=check,
-                                  threads=threads)
-        diff = diff_images(reference, image)
-        if diff:
-            raise OracleMismatch(
-                f"{mode} image diverges from serialized on "
-                f"{len(diff)} slot(s)", diff=diff)
+    for n_shards in shards:
+        for mode in modes:
+            if mode == "serialized" and n_shards == 1:
+                continue  # that is the reference itself
+            image = run_write_program(mode, ops, n_lines=n_lines,
+                                      seed=seed, check=check,
+                                      threads=threads,
+                                      shards=n_shards)
+            diff = diff_images(reference, image)
+            if diff:
+                raise OracleMismatch(
+                    f"{mode} (shards={n_shards}) image diverges from "
+                    f"serialized on {len(diff)} slot(s)", diff=diff)
 
 
 def run_workload_digest(mode: str, workload: str, seed: int = 7,
                         txns: int = 8, items: int = 16,
-                        check: bool = True) -> str:
+                        check: bool = True, shards: int = 1) -> str:
     """Run a workload kernel to completion, crash, recover, and return
     the logical digest of the recovered structure."""
     system = NvmSystem(default_config(mode=mode, seed=seed,
-                                      check_invariants=check))
+                                      check_invariants=check,
+                                      shards=shards))
     params = WorkloadParams(n_items=items, n_transactions=txns)
     variant = "manual" if mode == "janus" else "baseline"
     instance = make_workload(workload, system, system.cores[0], params,
@@ -263,21 +279,32 @@ def run_workload_digest(mode: str, workload: str, seed: int = 7,
 def check_workload_equivalence(workload: str, seed: int = 7,
                                txns: int = 8, items: int = 16,
                                check: bool = True,
-                               modes: Iterable[str] = ("janus",)
+                               modes: Iterable[str] = ("janus",),
+                               shards: Iterable[int] = (1,)
                                ) -> None:
     """Raise :class:`OracleMismatch` unless every candidate mode's run
-    of a workload kernel recovers to the serialized run's digest."""
+    of a workload kernel recovers to the serialized run's digest.
+
+    The reference is always the unsharded (``shards=1``) serialized
+    run; candidates sweep ``modes`` x ``shards``, so a sharded
+    topology of any width must recover to the identical logical
+    structure."""
     reference = run_workload_digest("serialized", workload, seed=seed,
                                     txns=txns, items=items, check=check)
-    for mode in modes:
-        candidate = run_workload_digest(mode, workload, seed=seed,
-                                        txns=txns, items=items,
-                                        check=check)
-        if reference != candidate:
-            raise OracleMismatch(
-                f"{workload}: {mode} digest {candidate[:12]} != "
-                f"serialized {reference[:12]}",
-                diff=[("digest", reference, candidate)])
+    for n_shards in shards:
+        for mode in modes:
+            if mode == "serialized" and n_shards == 1:
+                continue  # that is the reference itself
+            candidate = run_workload_digest(mode, workload, seed=seed,
+                                            txns=txns, items=items,
+                                            check=check,
+                                            shards=n_shards)
+            if reference != candidate:
+                raise OracleMismatch(
+                    f"{workload}: {mode} (shards={n_shards}) digest "
+                    f"{candidate[:12]} != serialized "
+                    f"{reference[:12]}",
+                    diff=[("digest", reference, candidate)])
 
 
 # ---------------------------------------------------------------------------
@@ -287,7 +314,8 @@ def run_staleness_crash(workload: str, seed: int = 7, txns: int = 12,
                         items: int = 8, crash_fraction: float = 0.5,
                         staleness_epochs: int = 2,
                         epoch_writes: int = 32,
-                        check: bool = False) -> dict:
+                        check: bool = False,
+                        shards: int = 1) -> dict:
     """Crash one ``async-epoch`` run mid-stream and recover it.
 
     Runs the serialized reference trajectory first (per-commit
@@ -304,7 +332,7 @@ def run_staleness_crash(workload: str, seed: int = 7, txns: int = 12,
     digests, horizon = reference_trajectory(workload, "serialized",
                                             params, seed)
     config = default_config(mode="async-epoch", seed=seed,
-                            check_invariants=check)
+                            check_invariants=check, shards=shards)
     config.scheduling.staleness_epochs = staleness_epochs
     config.scheduling.epoch_writes = epoch_writes
     system = NvmSystem(config)
@@ -338,16 +366,20 @@ def check_bounded_staleness(workload: str, seed: int = 7,
                             (0.35, 0.6, 0.85),
                             staleness_epochs: int = 2,
                             epoch_writes: int = 32,
-                            check: bool = False) -> int:
+                            check: bool = False,
+                            shards: int = 1) -> int:
     """The ``async-epoch`` consistency contract, as an oracle.
 
     For each crash point: (1) the recovered commit set must be the
     prefix ``1..k`` — recovery lands exactly on a closed-epoch
-    boundary, never mid-epoch; (2) every surviving commit must be
-    inside the durable watermark; (3) the recovered digest must equal
-    the mode-independent reference digest at ``k``; (4) the snapshot
-    watermark must witness the staleness bound
-    ``epochs_closed - epochs_flushed <= staleness_epochs``.  Raises
+    boundary (on the sharded machine, the cross-shard consistent
+    cut), never mid-epoch; (2) every surviving commit must be inside
+    the durable watermark; (3) the recovered digest must equal the
+    mode-independent reference digest at ``k``; (4) the snapshot
+    watermark must witness the staleness bound — at shards=1 the
+    exact ``epochs_closed - epochs_flushed <= staleness_epochs``, on
+    the sharded machine per shard with one epoch of slack for
+    coordinator demand-closes (docs/sharding.md).  Raises
     :class:`OracleMismatch` on any breach; returns the number of
     crash points checked.
     """
@@ -356,10 +388,11 @@ def check_bounded_staleness(workload: str, seed: int = 7,
             workload, seed=seed, txns=txns, items=items,
             crash_fraction=fraction,
             staleness_epochs=staleness_epochs,
-            epoch_writes=epoch_writes, check=check)
+            epoch_writes=epoch_writes, check=check, shards=shards)
         committed = record["committed"]
         k = len(committed)
-        tag = f"{workload} @ {fraction}"
+        tag = f"{workload} @ {fraction}" if shards == 1 \
+            else f"{workload} @ {fraction} (shards={shards})"
         if committed != list(range(1, k + 1)):
             raise OracleMismatch(
                 f"{tag}: recovered commits {committed} are not the "
@@ -377,13 +410,25 @@ def check_bounded_staleness(workload: str, seed: int = 7,
                 f"trajectory",
                 diff=[("reference", record["reference_digest"]),
                       ("got", record["digest"])])
-        closed = record["scheduling"].get("epochs_closed", 0)
-        done = record["scheduling"].get("epochs_flushed", 0)
-        if closed - done > staleness_epochs:
-            raise OracleMismatch(
-                f"{tag}: {closed - done} unflushed epochs exceeds "
-                f"the staleness bound {staleness_epochs}",
-                diff=[("scheduling", record["scheduling"])])
+        per_shard = record["scheduling"].get("per_shard")
+        if per_shard:
+            for shard_id, meta in enumerate(per_shard):
+                debt = meta["epochs_closed"] - meta["epochs_flushed"]
+                if debt > staleness_epochs + 1:
+                    raise OracleMismatch(
+                        f"{tag}: shard {shard_id} holds {debt} "
+                        f"unflushed epochs, exceeding the bound "
+                        f"{staleness_epochs} + 1 demand-close",
+                        diff=[("scheduling",
+                               record["scheduling"])])
+        else:
+            closed = record["scheduling"].get("epochs_closed", 0)
+            done = record["scheduling"].get("epochs_flushed", 0)
+            if closed - done > staleness_epochs:
+                raise OracleMismatch(
+                    f"{tag}: {closed - done} unflushed epochs exceeds "
+                    f"the staleness bound {staleness_epochs}",
+                    diff=[("scheduling", record["scheduling"])])
     return len(tuple(crash_fractions))
 
 

@@ -218,3 +218,27 @@ def test_run_prom_exposition(capsys, tmp_path):
     text = prom.read_text()
     assert "# TYPE repro_wq_accepted counter" in text
     assert "_sum" in text
+
+
+def test_run_digest_artifact_is_topology_blind(capsys, tmp_path):
+    """--digest crashes+recovers after the run and writes canonical
+    JSON; serialized runs produce identical bytes at any --shards
+    width (docs/sharding.md) — the CI sharded-smoke `cmp`."""
+    import json as jsonlib
+
+    unsharded = tmp_path / "d1.json"
+    sharded = tmp_path / "d2.json"
+    code, out = run_cli(capsys, "run", "queue", "--txns", "4",
+                        "--mode", "serialized", "--digest",
+                        str(unsharded))
+    assert code == 0
+    assert "recovered-structure digest" in out
+    code, _out = run_cli(capsys, "run", "queue", "--txns", "4",
+                         "--mode", "serialized", "--shards", "2",
+                         "--digest", str(sharded))
+    assert code == 0
+    assert unsharded.read_bytes() == sharded.read_bytes()
+    payload = jsonlib.loads(unsharded.read_text())
+    assert payload["schema"] == "repro-digest-v1"
+    assert len(payload["digest"]) == 64
+    assert payload["transactions"] == 4

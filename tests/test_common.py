@@ -11,7 +11,12 @@ from repro.common import (
     cycles_to_ns,
     ns_to_cycles,
 )
-from repro.common.config import DedupConfig, JanusConfig, default_config
+from repro.common.config import (
+    DedupConfig,
+    JanusConfig,
+    ShardingError,
+    default_config,
+)
 from repro.common.units import align_down, align_up, line_span
 from repro.harness.report import (
     Table,
@@ -92,6 +97,65 @@ class TestConfig:
         info = default_config().describe()
         assert info["mode"] == "janus"
         assert "dedup" in info["bmos"]
+
+
+class TestShardingValidation:
+    """Construction-time sharding checks (mirrors FaultPlanError:
+    every defect reported, not just the first)."""
+
+    def test_valid_sharded_configs_accepted(self):
+        for shards in (1, 2, 4, 8):
+            cfg = default_config(shards=shards)
+            assert cfg.shards == shards
+        cfg = default_config(shards=2, shard_interleave_bytes=256)
+        assert cfg.shard_interleave_bytes == 256
+
+    def test_non_power_of_two_shards_rejected(self):
+        with pytest.raises(ShardingError) as info:
+            default_config(shards=3)
+        assert any(p["field"] == "shards"
+                   for p in info.value.problems)
+
+    def test_zero_and_negative_shards_rejected(self):
+        for bad in (0, -2):
+            with pytest.raises(ShardingError):
+                default_config(shards=bad)
+
+    def test_non_power_of_two_interleave_rejected(self):
+        with pytest.raises(ShardingError) as info:
+            default_config(shard_interleave_bytes=96)
+        assert info.value.problems[0]["field"] == \
+            "shard_interleave_bytes"
+
+    def test_sub_line_interleave_rejected(self):
+        with pytest.raises(ShardingError) as info:
+            default_config(shard_interleave_bytes=32)
+        assert "cache line" in info.value.problems[0]["detail"]
+
+    def test_capacity_must_cover_whole_stripes(self):
+        from repro.common.config import MemoryConfig
+        with pytest.raises(ShardingError) as info:
+            SystemConfig(
+                shards=4, shard_interleave_bytes=64,
+                memory=MemoryConfig(capacity_bytes=64 * 4 * 10 + 64),
+            ).validate()
+        assert any("full stripe" in p["detail"]
+                   for p in info.value.problems)
+
+    def test_all_problems_reported_at_once(self):
+        with pytest.raises(ShardingError) as info:
+            default_config(shards=3, shard_interleave_bytes=96)
+        fields = [p["field"] for p in info.value.problems]
+        assert fields == ["shards", "shard_interleave_bytes"]
+        # The aggregated message names every problem.
+        message = str(info.value)
+        assert "2 problems" in message
+        assert "shards" in message
+        assert "shard_interleave_bytes" in message
+
+    def test_sharding_error_is_config_error(self):
+        with pytest.raises(ConfigError):
+            default_config(shards=5)
 
 
 class TestRng:

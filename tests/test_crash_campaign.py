@@ -124,3 +124,39 @@ class TestMidBmoCrash:
         assert committed == list(range(1, len(committed) + 1))
         assert workload.logical_digest(state.read) \
             == digests[len(committed)]
+
+
+class TestShardedCampaign:
+    """The crash-point sweep on the sharded machine: every seeded
+    crash — including async-epoch points caught with one shard's
+    epoch flusher behind the others — recovers onto the cross-shard
+    consistent cut, and the report JSON is byte-identical at --jobs 1
+    vs 2 (docs/sharding.md)."""
+
+    def sharded_config(self):
+        return cc.CampaignConfig(
+            workloads=("queue",), modes=("serialized", "async-epoch"),
+            points=3, seed=SEED, n_transactions=6,
+            fault_scenarios=False, shards=2)
+
+    def test_sharded_points_recover_on_committed_boundaries(self):
+        report = cc.run_campaign(self.sharded_config(), jobs=1)
+        assert report["violations"] == []
+        assert report["config"]["shards"] == 2
+        for entry in report["workloads"].values():
+            for mode_entry in entry["modes"].values():
+                for point in mode_entry["points"]:
+                    assert point["result"] == "recovered"
+                    assert point["prefix_ok"]
+                    assert point["digest_ok"]
+
+    def test_sharded_report_byte_identical_at_any_jobs(self):
+        inline = cc.render_json(
+            cc.run_campaign(self.sharded_config(), jobs=1))
+        fanned = cc.render_json(
+            cc.run_campaign(self.sharded_config(), jobs=2))
+        assert inline == fanned
+
+    def test_unsharded_config_dict_has_no_shards_key(self):
+        assert "shards" not in SMALL.to_dict()
+        assert self.sharded_config().to_dict()["shards"] == 2

@@ -385,3 +385,162 @@ class TestTornEpochRecovery:
                             covered=(commit_addr,))
         with pytest.raises(RecoveryError, match="damaged log line"):
             state.rollback_undo_log(BASE, CAPACITY)
+
+
+class _StubPolicy:
+    """Just enough of AsyncEpochPolicy for the merge algebra."""
+
+    def __init__(self, flushed, known_extra=(), meta=None):
+        self._flushed_txns = set(flushed)
+        self._known_extra = set(known_extra)
+        self._meta = meta if meta is not None else {
+            "mode": "async-epoch", "epoch_writes": 32,
+            "staleness_epochs": 2, "epochs_closed": 1,
+            "epochs_flushed": 1,
+            "flushed_txns": list(flushed)}
+
+    def known_txns(self):
+        return set(self._flushed_txns) | self._known_extra
+
+    def crash_metadata(self):
+        return self._meta
+
+
+class _StubCoordinator:
+    def __init__(self, unsafe=()):
+        self._unsafe = set(unsafe)
+
+    def unsafe_txns(self):
+        return set(self._unsafe)
+
+
+class TestShardedConsistentCut:
+    """The cross-shard watermark merge (docs/sharding.md): recovery
+    lands on the minimum consistent cut — the longest prefix of
+    transactions watermarked on every shard that saw them and holding
+    no unpersisted write anywhere."""
+
+    def merge(self, policies, coordinator=None):
+        from repro.bmo.policy import merge_crash_metadata
+        return merge_crash_metadata(policies, coordinator)
+
+    def test_single_policy_passes_metadata_through_verbatim(self):
+        meta = {"mode": "async-epoch", "flushed_txns": [1, 2]}
+        assert self.merge([_StubPolicy((1, 2), meta=meta)]) is meta
+
+    def test_all_none_merges_to_none(self):
+        class Strict:
+            def crash_metadata(self):
+                return None
+        assert self.merge([Strict(), Strict()]) is None
+
+    def test_one_shard_behind_truncates_the_cut(self):
+        # Shard 0 flushed 1-3; shard 1's flusher is an epoch behind
+        # and only flushed 1-2 while it *knows* of 3 (open epoch).
+        # The cut stops before 3 even though shard 0 watermarked it.
+        merged = self.merge([
+            _StubPolicy((1, 2, 3)),
+            _StubPolicy((1, 2), known_extra=(3,)),
+        ], _StubCoordinator())
+        assert merged["flushed_txns"] == [1, 2, 3]
+        # ...unless 3 still has an unpersisted write somewhere:
+        merged = self.merge([
+            _StubPolicy((1, 2, 3)),
+            _StubPolicy((1, 2), known_extra=(3,)),
+        ], _StubCoordinator(unsafe=(3,)))
+        assert merged["flushed_txns"] == [1, 2]
+
+    def test_demotion_is_prefix_closed(self):
+        # 2 is unsafe, so 3 and 4 demote with it: a later transaction
+        # may depend on a demoted one's state.
+        merged = self.merge([
+            _StubPolicy((1, 3)),
+            _StubPolicy((1, 2, 4), known_extra=()),
+        ], _StubCoordinator(unsafe=(2,)))
+        assert merged["flushed_txns"] == [1]
+
+    def test_unflushed_known_txn_breaks_the_walk(self):
+        # 2 closed into an epoch on shard 1 that never flushed: it is
+        # known there but flushed nowhere -> cut is [1].
+        merged = self.merge([
+            _StubPolicy((1,)),
+            _StubPolicy((), known_extra=(2,)),
+        ], _StubCoordinator())
+        assert merged["flushed_txns"] == [1]
+
+    def test_legacy_keys_total_and_per_shard_detail(self):
+        merged = self.merge([_StubPolicy((1,)), _StubPolicy((1,))],
+                            _StubCoordinator())
+        assert merged["mode"] == "async-epoch"
+        assert merged["epochs_closed"] == 2
+        assert merged["epochs_flushed"] == 2
+        assert merged["shards"] == 2
+        assert len(merged["per_shard"]) == 2
+
+
+class TestShardedEpochCrash:
+    """End-to-end: a sharded async-epoch crash recovers onto the
+    merged watermark's cross-shard consistent cut."""
+
+    def _crash_with_imbalanced_flushers(self, shards=2):
+        from repro.common.config import SchedulingConfig, default_config
+        from repro.core import NvmSystem
+        from repro.workloads import WorkloadParams, make_workload
+
+        # Small epochs so several close (and flush) mid-run — the
+        # default 32-write epoch never fills at this scale.
+        system = NvmSystem(default_config(
+            mode="async-epoch", shards=shards,
+            scheduling=SchedulingConfig(epoch_writes=4)))
+        params = WorkloadParams(n_items=8, n_transactions=12)
+        workload = make_workload("hash_table", system,
+                                 system.cores[0], params,
+                                 variant="baseline")
+        # Make the imbalance deterministic: the last shard's device is
+        # slow, so its epoch flusher provably falls behind the others.
+        slow = system.devices[-1]
+        original = slow.write_access
+
+        def dawdling(addr):
+            yield system.sim.delay(600)
+            yield from original(addr)
+
+        slow.write_access = dawdling
+        system.sim.process(workload.run(), name="stream")
+        # Step the clock until the per-shard watermarks diverge — the
+        # exact "one shard's flusher is behind" moment.
+        policies = [c.policy for c in system.controllers]
+        horizon = 2_000_000
+        step = 200
+        now = 0
+        while now < horizon:
+            now += step
+            system.sim.run(until=now)
+            flushed = [set(p._flushed_txns) for p in policies]
+            if any(f != flushed[0] for f in flushed[1:]) \
+                    and any(flushed):
+                break
+        else:
+            pytest.skip("flushers never diverged at this scale")
+        return system, workload
+
+    def test_recovery_lands_on_cross_shard_cut(self):
+        from repro.consistency import recover
+
+        system, workload = self._crash_with_imbalanced_flushers()
+        snapshot = system.crash()
+        scheduling = snapshot["metadata"]["scheduling"]
+        assert scheduling["shards"] == 2
+        per_shard = scheduling["per_shard"]
+        assert len(per_shard) == 2
+        cut = scheduling["flushed_txns"]
+        # The cut is a gapless prefix...
+        assert cut == list(range(1, len(cut) + 1))
+        # ...and never reaches past any shard's own watermark for a
+        # transaction that shard knows about.
+        state = recover(snapshot,
+                        [(workload.log.base, workload.log.capacity)],
+                        verify_macs=True)
+        committed = state.committed_txns
+        assert committed == list(range(1, len(committed) + 1))
+        assert set(committed) <= set(cut)
